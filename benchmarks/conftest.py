@@ -1,0 +1,70 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``benchmarks/test_*`` module regenerates one table or figure from the
+paper and prints it next to the paper's own numbers.  Simulated *message
+counts* are expected to match closely; *times* are expected to match in
+shape (who wins, by what factor) — see EXPERIMENTS.md.
+
+Scale: by default the data-intensive benchmarks run scaled down (they note
+their scale factor in the output).  Set ``REPRO_SCALE=paper`` to run at the
+paper's full sizes (slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_SCALE", "").lower() == "paper"
+
+_capture_manager = None
+
+
+def pytest_configure(config):
+    # The paper-vs-measured tables must reach the terminal (and any tee)
+    # even under pytest's default output capture.
+    global _capture_manager
+    _capture_manager = config.pluginmanager.getplugin("capturemanager")
+
+
+def _emit(text: str) -> None:
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            print(text, flush=True)
+    else:
+        print(text, flush=True)
+
+
+def scale(full_value: int, scaled_value: int) -> int:
+    """Pick the paper-scale or the default scaled-down parameter."""
+    return full_value if PAPER_SCALE else scaled_value
+
+
+def banner(title: str) -> None:
+    _emit("")
+    _emit("=" * 72)
+    _emit(title)
+    _emit("=" * 72)
+
+
+def table(headers, rows) -> None:
+    widths = [max(len(str(headers[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    _emit(line)
+    _emit("-" * len(line))
+    for row in rows:
+        _emit("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """(banner, table) printing helpers as a fixture tuple."""
+    return banner, table

@@ -1,0 +1,46 @@
+"""Figure 4: message overhead vs directory depth (mkdir/chdir/readdir)."""
+
+from conftest import banner, once, table
+
+from repro.workloads import run_depth_sweep
+
+DEPTHS = (0, 2, 4, 8, 12, 16)
+OPS = ("mkdir", "chdir", "readdir")
+
+
+def test_fig4_depth(benchmark):
+    def run():
+        out = {}
+        for op in OPS:
+            out[op, "nfsv3", "cold"] = run_depth_sweep(op, "nfsv3", DEPTHS)
+            out[op, "nfsv4", "cold"] = run_depth_sweep(op, "nfsv4", DEPTHS)
+            out[op, "iscsi", "cold"] = run_depth_sweep(op, "iscsi", DEPTHS)
+            out[op, "nfsv3", "warm"] = run_depth_sweep(op, "nfsv3", DEPTHS, warm=True)
+            out[op, "iscsi", "warm"] = run_depth_sweep(op, "iscsi", DEPTHS, warm=True)
+        return out
+
+    results = once(benchmark, run)
+    for op in OPS:
+        banner("Figure 4 [%s]: messages vs directory depth" % op)
+        rows = []
+        for key in (("nfsv3", "cold"), ("nfsv4", "cold"), ("iscsi", "cold"),
+                    ("nfsv3", "warm"), ("iscsi", "warm")):
+            sweep = results[(op,) + key]
+            rows.append(["%s (%s)" % key] + [sweep[d] for d in DEPTHS])
+        table(["series"] + ["d=%d" % d for d in DEPTHS], rows)
+
+    for op in OPS:
+        v3 = results[op, "nfsv3", "cold"]
+        v4 = results[op, "nfsv4", "cold"]
+        iscsi = results[op, "iscsi", "cold"]
+        # ~1 extra message/level for v2/v3; ~2 for v4 and iSCSI ("in tandem").
+        v3_slope = (v3[16] - v3[0]) / 16.0
+        v4_slope = (v4[16] - v4[0]) / 16.0
+        iscsi_slope = (iscsi[16] - iscsi[0]) / 16.0
+        assert 0.9 <= v3_slope <= 1.1
+        assert 1.8 <= v4_slope <= 2.2
+        assert 1.8 <= iscsi_slope <= 2.3
+        # Warm curves are flat, independent of depth.
+        for kind in ("nfsv3", "iscsi"):
+            warm = results[op, kind, "warm"]
+            assert abs(warm[16] - warm[0]) <= 1, (op, kind)

@@ -1,0 +1,53 @@
+"""Figure 6: completion time vs network RTT (the NISTNet sweep)."""
+
+from conftest import banner, once, scale, table
+
+from repro.workloads import SeqRandWorkload
+
+RTTS = (0.010, 0.030, 0.050, 0.070, 0.090)
+
+
+def test_fig6_latency(benchmark):
+    file_mb = scale(128, 4)
+    factor = 128 // file_mb
+
+    def run():
+        out = {}
+        for kind in ("nfsv3", "iscsi"):
+            for rtt in RTTS:
+                workload = SeqRandWorkload(kind, file_mb=file_mb, rtt=rtt)
+                out["read", kind, rtt] = workload.run_read(True)
+                out["write", kind, rtt] = workload.run_write(True)
+        return out
+
+    results = once(benchmark, run)
+    for mode in ("read", "write"):
+        banner("Figure 6 [%ss]: completion (s, x%d) vs RTT" % (mode, factor))
+        rows = []
+        for kind in ("nfsv3", "iscsi"):
+            rows.append([kind] + [
+                "%.0f" % (results[mode, kind, rtt].completion_time * factor)
+                for rtt in RTTS
+            ])
+        table(["stack"] + ["%dms" % int(rtt * 1000) for rtt in RTTS], rows)
+
+    # Reads: both degrade with RTT; NFS degrades faster (shallower
+    # pipelining + retransmission exposure).
+    for kind in ("nfsv3", "iscsi"):
+        assert results["read", kind, 0.090].completion_time > \
+            results["read", kind, 0.010].completion_time * 3
+    nfs_slope = (results["read", "nfsv3", 0.090].completion_time
+                 / results["read", "nfsv3", 0.010].completion_time)
+    iscsi_slope = (results["read", "iscsi", 0.090].completion_time
+                   / results["read", "iscsi", 0.010].completion_time)
+    assert results["read", "nfsv3", 0.090].completion_time > \
+        results["read", "iscsi", 0.090].completion_time * 1.3
+
+    # Writes: iSCSI flat (asynchronous); NFS grows with RTT
+    # (pseudo-synchronous window).
+    iscsi_writes = [results["write", "iscsi", rtt].completion_time for rtt in RTTS]
+    assert max(iscsi_writes) < 2 * min(iscsi_writes) + 1.0
+    assert results["write", "nfsv3", 0.090].completion_time > \
+        results["write", "nfsv3", 0.010].completion_time * 3
+    assert results["write", "nfsv3", 0.090].completion_time > \
+        results["write", "iscsi", 0.090].completion_time * 10

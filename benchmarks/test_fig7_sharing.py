@@ -1,0 +1,52 @@
+"""Figure 7: directory sharing characteristics of the multi-client traces."""
+
+from conftest import banner, once, scale, table
+
+from repro.traces import (
+    CAMPUS_PROFILE,
+    EECS_PROFILE,
+    TraceGenerator,
+    analyze_sharing,
+)
+
+INTERVALS = (60, 200, 400, 600, 800, 1000, 1200)
+
+
+def test_fig7_sharing(benchmark):
+    limit = scale(800_000, 150_000)
+
+    def run():
+        out = {}
+        for profile in (EECS_PROFILE, CAMPUS_PROFILE):
+            events = list(TraceGenerator(profile).events(limit=limit))
+            out[profile.name] = analyze_sharing(events, intervals=INTERVALS)
+        return out
+
+    results = once(benchmark, run)
+    for name in ("eecs", "campus"):
+        banner("Figure 7 [%s]: normalized directories per interval" % name)
+        rows = []
+        for point in results[name]:
+            rows.append([
+                "%.0f" % point.interval,
+                "%.3f" % point.read_by_one,
+                "%.3f" % point.read_by_multiple,
+                "%.3f" % point.written_by_one,
+                "%.3f" % point.written_by_multiple,
+                "%.3f" % point.read_write_shared,
+            ])
+        table(["T", "read-by-1", "read-by-N", "write-by-1", "write-by-N",
+               "rw-shared"], rows)
+
+    for name in ("eecs", "campus"):
+        for point in results[name]:
+            # Single-client access dominates at every time scale.
+            assert point.read_by_one > point.read_by_multiple
+            assert point.written_by_one > point.written_by_multiple
+        # The paper: only ~4% (EECS) / ~3.5% (Campus) of directories are
+        # read-write shared at T = 1000 s.
+        at_1000 = next(p for p in results[name] if p.interval == 1000)
+        assert at_1000.read_write_shared < 0.06, name
+    # EECS reads are shared more than its writes by a wide margin.
+    eecs_1000 = next(p for p in results["eecs"] if p.interval == 1000)
+    assert eecs_1000.read_by_multiple > 3 * eecs_1000.written_by_multiple

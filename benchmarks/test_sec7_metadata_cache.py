@@ -1,0 +1,50 @@
+"""Section 7: the strongly-consistent meta-data cache simulation."""
+
+from conftest import banner, once, scale, table
+
+from repro.traces import (
+    CAMPUS_PROFILE,
+    EECS_PROFILE,
+    TraceGenerator,
+    sweep_cache_sizes,
+)
+
+SIZES = (16, 64, 256, 1024, 4096)
+
+
+def test_sec7_metadata_cache(benchmark):
+    limit = scale(800_000, 150_000)
+
+    def run():
+        out = {}
+        for profile in (EECS_PROFILE, CAMPUS_PROFILE):
+            events = list(TraceGenerator(profile).events(limit=limit))
+            out[profile.name] = sweep_cache_sizes(events, sizes=SIZES)
+        return out
+
+    results = once(benchmark, run)
+    for name in ("eecs", "campus"):
+        banner("Section 7 [%s]: consistent meta-data cache vs 3s-expiry "
+               "baseline" % name)
+        rows = []
+        for size in SIZES:
+            r = results[name][size]
+            rows.append([
+                size,
+                r.baseline_messages,
+                r.consistent_messages,
+                "%.1f%%" % (r.reduction * 100),
+                "%.1e" % r.callback_ratio,
+            ])
+        table(["cache size", "baseline msgs", "consistent msgs",
+               "reduction", "callback ratio"], rows)
+
+    # The paper's Section-7 numbers: a directory cache of ~2^10 entries
+    # eliminates more than 70% of meta-data messages (EECS), and the
+    # callback traffic is a small fraction of what it replaces.
+    assert results["eecs"][1024].reduction > 0.70
+    assert results["campus"][1024].reduction > 0.40
+    for name in ("eecs", "campus"):
+        assert results[name][1024].callback_ratio < 0.10
+        # Reduction grows with cache size.
+        assert results[name][4096].reduction >= results[name][16].reduction

@@ -1,0 +1,44 @@
+"""Table 10: client CPU utilization across the macro-benchmarks."""
+
+from conftest import banner, once, scale, table
+
+from repro.workloads import PostMark, TpccWorkload, TpchWorkload
+
+PAPER = {"postmark": (2, 25), "tpcc": (100, 100), "tpch": (100, 100)}
+
+
+def test_table10_client_cpu(benchmark):
+    def run():
+        out = {}
+        for kind in ("nfsv3", "iscsi"):
+            out["postmark", kind] = PostMark(
+                kind, file_count=1000, transactions=scale(100_000, 6_000)
+            ).run()
+            out["tpcc", kind] = TpccWorkload(
+                kind, transactions=scale(5000, 800)
+            ).run()
+            out["tpch", kind] = TpchWorkload(
+                kind, queries=scale(8, 3), database_mb=scale(1024, 96)
+            ).run()
+        return out
+
+    results = once(benchmark, run)
+    banner("Table 10: client CPU utilization — measured (paper)")
+    rows = []
+    for bench in ("postmark", "tpcc", "tpch"):
+        nfs = results[bench, "nfsv3"].client_cpu * 100
+        iscsi = results[bench, "iscsi"].client_cpu * 100
+        p_nfs, p_iscsi = PAPER[bench]
+        rows.append([bench, "%.0f%% (%d%%)" % (nfs, p_nfs),
+                     "%.0f%% (%d%%)" % (iscsi, p_iscsi)])
+    table(["benchmark", "NFS v3", "iSCSI"], rows)
+
+    # PostMark: the inversion — iSCSI does the filesystem work at the
+    # client, NFS's client is nearly idle.
+    assert results["postmark", "iscsi"].client_cpu > \
+        5 * results["postmark", "nfsv3"].client_cpu
+    assert results["postmark", "nfsv3"].client_cpu < 0.15
+    # TPC-C/H: the database dominates and both clients run hot.
+    for bench in ("tpcc", "tpch"):
+        for kind in ("nfsv3", "iscsi"):
+            assert results[bench, kind].client_cpu > 0.4, (bench, kind)

@@ -1,0 +1,57 @@
+"""Table 2: cold-cache network message overheads per system call."""
+
+from conftest import banner, once, table
+
+from repro.workloads import SYSCALL_OPS, run_syscall_table
+
+# Paper's Table 2 — (v2, v3, v4, iSCSI) at depths 0 and 3.
+PAPER = {
+    0: {"mkdir": (2, 2, 4, 7), "chdir": (1, 1, 3, 2), "readdir": (2, 2, 4, 6),
+        "symlink": (3, 2, 4, 6), "readlink": (2, 2, 3, 5), "unlink": (2, 2, 4, 6),
+        "rmdir": (2, 2, 4, 8), "creat": (3, 3, 10, 7), "open": (2, 2, 7, 3),
+        "link": (4, 4, 7, 6), "rename": (4, 3, 7, 6), "trunc": (3, 3, 8, 6),
+        "chmod": (3, 3, 5, 6), "chown": (3, 3, 5, 6), "access": (2, 2, 5, 3),
+        "stat": (3, 3, 5, 3), "utime": (2, 2, 4, 6)},
+    3: {"mkdir": (5, 5, 10, 13), "chdir": (4, 4, 9, 8), "readdir": (5, 5, 10, 12),
+        "symlink": (6, 5, 10, 12), "readlink": (5, 5, 9, 10), "unlink": (5, 5, 10, 11),
+        "rmdir": (5, 5, 10, 14), "creat": (6, 6, 16, 13), "open": (5, 5, 13, 9),
+        "link": (10, 9, 16, 12), "rename": (10, 10, 16, 12), "trunc": (6, 6, 14, 12),
+        "chmod": (6, 6, 11, 12), "chown": (6, 6, 11, 11), "access": (5, 5, 11, 9),
+        "stat": (6, 6, 11, 9), "utime": (5, 5, 10, 12)},
+}
+
+KINDS = ("nfsv2", "nfsv3", "nfsv4", "iscsi")
+
+
+def test_table2_cold_syscalls(benchmark):
+    results = once(benchmark, lambda: run_syscall_table(kinds=KINDS,
+                                                        depths=(0, 3),
+                                                        warm=False))
+    for depth in (0, 3):
+        banner("Table 2 (cold cache), directory depth %d — "
+               "measured (paper)" % depth)
+        rows = []
+        for op in SYSCALL_OPS:
+            measured = [results[depth][op][k] for k in KINDS]
+            paper = PAPER[depth][op]
+            rows.append([op] + [
+                "%d (%d)" % (m, p) for m, p in zip(measured, paper)
+            ])
+        table(["syscall", "NFSv2", "NFSv3", "NFSv4", "iSCSI"], rows)
+
+    # Structural assertions from the paper's reading of this table:
+    for depth in (0, 3):
+        for op in ("mkdir", "rmdir", "readdir", "unlink"):
+            row = results[depth][op]
+            assert row["iscsi"] > row["nfsv3"]          # iSCSI pays more cold
+        for op in SYSCALL_OPS:
+            assert results[depth][op]["nfsv4"] >= results[depth][op]["nfsv3"]
+    # NFS v2/v3 must be cell-exact against the paper, except link/rename
+    # at depth 3 (±1): the paper's own v2-vs-v3 deltas there are mutually
+    # inconsistent with its post-op-attribute explanation.
+    loose = {(3, "link"), (3, "rename")}
+    for depth in (0, 3):
+        for op in SYSCALL_OPS:
+            slack = 1 if (depth, op) in loose else 0
+            assert abs(results[depth][op]["nfsv2"] - PAPER[depth][op][0]) <= slack, op
+            assert abs(results[depth][op]["nfsv3"] - PAPER[depth][op][1]) <= slack, op

@@ -1,0 +1,60 @@
+"""Table 4: 128 MB sequential/random reads and writes (NFS v3 vs iSCSI)."""
+
+from conftest import banner, once, scale, table
+
+from repro.workloads import SeqRandWorkload
+
+# (completion s, messages, MB) from the paper at 128 MB
+PAPER = {
+    ("nfsv3", "seq-read"): (35, 33_362, 153), ("iscsi", "seq-read"): (35, 32_790, 148),
+    ("nfsv3", "rand-read"): (64, 32_860, 153), ("iscsi", "rand-read"): (55, 32_827, 148),
+    ("nfsv3", "seq-write"): (17, 32_990, 151), ("iscsi", "seq-write"): (2, 1_135, 143),
+    ("nfsv3", "rand-write"): (21, 33_015, 151), ("iscsi", "rand-write"): (5, 1_150, 143),
+}
+
+
+def test_table4_seqrand(benchmark):
+    file_mb = scale(128, 16)
+    factor = 128 // file_mb
+
+    def run():
+        out = {}
+        for kind in ("nfsv3", "iscsi"):
+            workload = SeqRandWorkload(kind, file_mb=file_mb)
+            out[kind, "seq-read"] = workload.run_read(True)
+            out[kind, "rand-read"] = workload.run_read(False)
+            out[kind, "seq-write"] = workload.run_write(True)
+            out[kind, "rand-write"] = workload.run_write(False)
+        return out
+
+    results = once(benchmark, run)
+    banner("Table 4: %d MB streaming I/O — measured x%d (paper @128MB)"
+           % (file_mb, factor))
+    rows = []
+    for mode in ("seq-read", "rand-read", "seq-write", "rand-write"):
+        for kind in ("nfsv3", "iscsi"):
+            r = results[kind, mode]
+            p = PAPER[kind, mode]
+            rows.append([
+                mode, kind,
+                "%.1fs (%ds)" % (r.completion_time * factor, p[0]),
+                "%d (%d)" % (r.messages * factor, p[1]),
+                "%.0fMB (%dMB)" % (r.bytes * factor / 1e6, p[2]),
+            ])
+    table(["workload", "stack", "time", "messages", "bytes"], rows)
+
+    n = {m: results["nfsv3", m] for m in ("seq-read", "rand-read",
+                                          "seq-write", "rand-write")}
+    i = {m: results["iscsi", m] for m in ("seq-read", "rand-read",
+                                          "seq-write", "rand-write")}
+    # Reads: comparable times and message counts.
+    assert 0.5 < n["seq-read"].completion_time / i["seq-read"].completion_time < 2.0
+    assert abs(n["seq-read"].messages - i["seq-read"].messages) \
+        < 0.05 * n["seq-read"].messages
+    # Random reads: NFS somewhat worse (paper: ~15%).
+    assert n["rand-read"].completion_time >= i["rand-read"].completion_time
+    # Writes: iSCSI dramatically faster and ~30x fewer messages.
+    assert i["seq-write"].completion_time < n["seq-write"].completion_time / 4
+    assert i["seq-write"].messages < n["seq-write"].messages / 10
+    # Byte totals comparable across stacks (the same data moves).
+    assert 0.7 < n["seq-write"].bytes / i["seq-write"].bytes < 1.5

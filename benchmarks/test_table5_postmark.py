@@ -1,0 +1,57 @@
+"""Table 5: PostMark completion times and message counts."""
+
+from conftest import banner, once, scale, table
+
+from repro.workloads import PostMark
+
+# Paper @ 100 K transactions: (NFS s, iSCSI s, NFS msgs, iSCSI msgs)
+PAPER = {
+    1000: (146, 12, 371_963, 101),
+    5000: (201, 35, 451_415, 276),
+    25000: (516, 208, 639_128, 66_965),
+}
+
+
+def test_table5_postmark(benchmark):
+    transactions = scale(100_000, 8_000)
+    factor = 100_000 // transactions
+    pools = (1000, 5000) if transactions < 100_000 else (1000, 5000, 25000)
+
+    def run():
+        out = {}
+        for files in pools:
+            for kind in ("nfsv3", "iscsi"):
+                out[files, kind] = PostMark(
+                    kind, file_count=files, transactions=transactions
+                ).run()
+        return out
+
+    results = once(benchmark, run)
+    banner("Table 5: PostMark, %d txns (x%d vs paper's 100K)"
+           % (transactions, factor))
+    rows = []
+    for files in pools:
+        nfs = results[files, "nfsv3"]
+        iscsi = results[files, "iscsi"]
+        paper = PAPER[files]
+        rows.append([
+            files,
+            "%.0fs (%d)" % (nfs.completion_time * factor, paper[0]),
+            "%.0fs (%d)" % (iscsi.completion_time * factor, paper[1]),
+            "%d (%d)" % (nfs.messages * factor, paper[2]),
+            "%d (%d)" % (iscsi.messages * factor, paper[3]),
+        ])
+    table(["files", "NFS time", "iSCSI time", "NFS msgs", "iSCSI msgs"], rows)
+
+    for files in pools:
+        nfs = results[files, "nfsv3"]
+        iscsi = results[files, "iscsi"]
+        # The headline: iSCSI wins big on this meta-data-intensive load.
+        assert iscsi.completion_time < nfs.completion_time / 4
+        assert iscsi.messages < nfs.messages / 10
+    # The gap narrows as the pool grows (caching effectiveness dwindles).
+    small_ratio = (results[1000, "nfsv3"].messages
+                   / max(1, results[1000, "iscsi"].messages))
+    big_ratio = (results[pools[-1], "nfsv3"].messages
+                 / max(1, results[pools[-1], "iscsi"].messages))
+    assert big_ratio < small_ratio

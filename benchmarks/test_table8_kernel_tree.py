@@ -1,0 +1,44 @@
+"""Table 8: tar / ls -lR / make / rm -rf over a kernel-like source tree."""
+
+from conftest import banner, once, scale, table
+
+from repro.workloads import KernelTreeOps, TreeSpec
+
+# Paper, full kernel tree: (NFS s, iSCSI s)
+PAPER = {"tar": (60, 5), "ls": (12, 6), "make": (222, 193), "rm": (40, 22)}
+
+
+def test_table8_kernel_tree(benchmark):
+    top_dirs = scale(120, 12)   # 12 -> roughly a tenth of a kernel tree
+    spec = TreeSpec(top_dirs=top_dirs)
+    factor = 120 // top_dirs
+
+    def run():
+        return {
+            kind: KernelTreeOps(kind, spec).run_all()
+            for kind in ("nfsv3", "iscsi")
+        }
+
+    results = once(benchmark, run)
+    nfs, iscsi = results["nfsv3"], results["iscsi"]
+    banner("Table 8: kernel-tree ops, %d files (x%d) — measured (paper)"
+           % (spec.total_files, factor))
+    rows = [
+        ["tar -xzf", "%.0fs (%d)" % (nfs.tar_seconds * factor, PAPER["tar"][0]),
+         "%.1fs (%d)" % (iscsi.tar_seconds * factor, PAPER["tar"][1])],
+        ["ls -lR", "%.0fs (%d)" % (nfs.ls_seconds * factor, PAPER["ls"][0]),
+         "%.1fs (%d)" % (iscsi.ls_seconds * factor, PAPER["ls"][1])],
+        ["make", "%.0fs (%d)" % (nfs.make_seconds * factor, PAPER["make"][0]),
+         "%.0fs (%d)" % (iscsi.make_seconds * factor, PAPER["make"][1])],
+        ["rm -rf", "%.0fs (%d)" % (nfs.rm_seconds * factor, PAPER["rm"][0]),
+         "%.1fs (%d)" % (iscsi.rm_seconds * factor, PAPER["rm"][1])],
+    ]
+    table(["benchmark", "NFS v3", "iSCSI"], rows)
+
+    # Meta-data-heavy phases: iSCSI wins clearly.
+    assert iscsi.tar_seconds < nfs.tar_seconds / 3
+    assert iscsi.ls_seconds < nfs.ls_seconds
+    assert iscsi.rm_seconds < nfs.rm_seconds
+    # The compile is CPU-bound: near-parity (paper: 222 vs 193, ~13%).
+    assert iscsi.make_seconds < nfs.make_seconds
+    assert iscsi.make_seconds > 0.5 * nfs.make_seconds

@@ -1,0 +1,50 @@
+"""What-if bench: the paper's Section 6.1 speculation, tested.
+
+"We speculate that an increase in the pending writes limit and
+optimizations such as spatial write aggregation in NFS will eliminate
+this performance gap [on write-intensive workloads]."
+
+This bench applies exactly those two changes to the stock v3 client —
+nothing else — and reruns the Table 4 sequential write.
+"""
+
+from conftest import banner, once, scale, table
+
+from repro.core.params import NfsParams, TestbedParams
+from repro.workloads import SeqRandWorkload
+
+
+def test_whatif_nfs_write_fixes(benchmark):
+    file_mb = scale(128, 16)
+
+    def run():
+        out = {}
+        out["nfsv3 (stock)"] = SeqRandWorkload(
+            "nfsv3", file_mb=file_mb
+        ).run_write(True)
+        fixed = TestbedParams(nfs=NfsParams(
+            max_pending_writes=64,      # raised pending-write limit
+            pages_per_flush_rpc=32,     # spatial write aggregation (128 KB)
+        ))
+        out["nfsv3 (6.1 fixes)"] = SeqRandWorkload(
+            "nfsv3", file_mb=file_mb, params=fixed
+        ).run_write(True)
+        out["iscsi"] = SeqRandWorkload(
+            "iscsi", file_mb=file_mb
+        ).run_write(True)
+        return out
+
+    results = once(benchmark, run)
+    banner("Section 6.1 what-if: %d MB sequential write" % file_mb)
+    rows = [[label, "%.2fs" % r.completion_time, r.messages]
+            for label, r in results.items()]
+    table(["configuration", "time", "messages"], rows)
+
+    stock = results["nfsv3 (stock)"]
+    fixed = results["nfsv3 (6.1 fixes)"]
+    iscsi = results["iscsi"]
+    # The two fixes recover most of the gap, as the paper speculated:
+    assert fixed.completion_time < stock.completion_time / 3
+    assert fixed.messages < stock.messages / 8
+    # ...but synchronous close-to-open semantics keep a residual gap.
+    assert fixed.completion_time >= iscsi.completion_time

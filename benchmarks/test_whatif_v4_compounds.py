@@ -1,0 +1,50 @@
+"""What-if bench: NFS v4 compound RPCs (the paper's Section 6.3).
+
+"NFS v4 and DAFS allow the use of compound RPCs to aggregate related
+meta-data requests and reduce network traffic. ... it is not possible to
+speculate on the actual performance benefits, since it depends on the
+degree of compounding."
+
+This bench supplies the missing number for our testbed: the deep-path
+micro-benchmark with and without compound walks.
+"""
+
+from dataclasses import replace
+
+from conftest import banner, once, table
+
+from repro.core.params import NfsParams, TestbedParams
+from repro.workloads import SyscallMicrobench
+
+DEPTHS = (2, 4, 8, 16)
+
+
+def test_whatif_v4_compounds(benchmark):
+    def run():
+        out = {}
+        for compound in (False, True):
+            params = TestbedParams(
+                nfs=replace(NfsParams.for_version(4), compound_rpcs=compound)
+            )
+            for depth in DEPTHS:
+                bench = SyscallMicrobench("nfsv4", depth, params)
+                out[compound, depth] = bench.measure_cold("stat")
+        return out
+
+    results = once(benchmark, run)
+    banner("Section 6.3 what-if: v4 cold stat messages vs depth, with and "
+           "without compound walks")
+    rows = [
+        ["separate RPCs"] + [results[False, d] for d in DEPTHS],
+        ["compound walk"] + [results[True, d] for d in DEPTHS],
+    ]
+    table(["v4 client"] + ["depth %d" % d for d in DEPTHS], rows)
+
+    for depth in DEPTHS:
+        assert results[True, depth] < results[False, depth]
+    # Compounding flattens the depth tax: the whole walk is one exchange,
+    # so the compound curve grows far slower than ~2 messages per level.
+    separate_slope = (results[False, 16] - results[False, 2]) / 14.0
+    compound_slope = (results[True, 16] - results[True, 2]) / 14.0
+    assert separate_slope >= 1.8
+    assert compound_slope <= 0.3

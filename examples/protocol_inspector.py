@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: protocol forensics — watch what each syscall puts on the wire.
+
+The paper's micro-benchmarking method, interactive: run one system call on
+a cold or warm stack and print the exact protocol exchange (op mix, bytes),
+the simulated Ethereal.  Useful for building intuition about *why* the
+tables look the way they do.
+
+Run:  python examples/protocol_inspector.py [syscall] [depth]
+      e.g. python examples/protocol_inspector.py mkdir 3
+"""
+
+import sys
+
+from repro.workloads import SYSCALL_OPS
+from repro.workloads.microbench import SyscallMicrobench
+from repro.core import make_stack
+
+KINDS = ("nfsv2", "nfsv3", "nfsv4", "iscsi", "nfs-enhanced")
+
+
+def inspect(op: str, depth: int):
+    print("Syscall %r at directory depth %d" % (op, depth))
+    for label, warm in (("cold cache", False), ("warm cache", True)):
+        print()
+        print("== %s ==" % label)
+        print("%-14s %6s   %s" % ("stack", "msgs", "protocol exchange"))
+        print("-" * 70)
+        for kind in KINDS:
+            bench = SyscallMicrobench(kind, depth)
+            # Re-run with a visible per-op breakdown.
+            stack = bench._fresh_stack()
+            stack.make_cold()
+            if warm:
+                stack.run(bench._op(stack.client, op, 0), name="prime")
+                stack.run(bench._make_consumables(stack.client, 1),
+                          name="prep")
+                stack.quiesce()
+                stack.run(_sleep(stack, 4.0), name="age")
+                stack.quiesce()
+            snap = stack.snapshot()
+            stack.run(bench._op(stack.client, op, 1 if warm else 0),
+                      name=op)
+            stack.quiesce()
+            delta = stack.delta(snap)
+            mix = ", ".join(
+                "%s x%d" % (name, count) if count > 1 else name
+                for name, count in sorted(delta.by_op.items())
+            )
+            print("%-14s %6d   %s" % (kind, delta.messages, mix or "(none)"))
+
+
+def _sleep(stack, seconds):
+    yield stack.sim.timeout(seconds)
+
+
+def main():
+    op = sys.argv[1] if len(sys.argv) > 1 else "mkdir"
+    depth = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    if op not in SYSCALL_OPS:
+        print("unknown syscall %r; choose from: %s" % (op, ", ".join(SYSCALL_OPS)))
+        raise SystemExit(1)
+    inspect(op, depth)
+
+
+if __name__ == "__main__":
+    main()

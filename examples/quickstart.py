@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build a stack, run a tiny workload, read the counters.
+
+This is the five-minute tour of the public API:
+
+* ``make_stack(kind)`` wires a complete simulated testbed — client and
+  server hosts, a Gigabit link, a RAID-5 array, and the chosen protocol
+  stack ("nfsv2" | "nfsv3" | "nfsv4" | "iscsi" | "nfs-enhanced");
+* ``stack.client`` exposes POSIX-style syscalls as coroutines — the same
+  surface on every stack, so a workload is written once;
+* ``stack.run(coro)`` drives the simulation; ``stack.snapshot()`` /
+  ``stack.delta(snap)`` bracket an experiment the way the paper's authors
+  bracketed theirs with a packet capture.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import STACK_KINDS, make_stack
+
+
+def workload(client):
+    """A little filesystem session: build a tree, write, read it back."""
+    yield from client.mkdir("/projects")
+    yield from client.mkdir("/projects/repro")
+    fd = yield from client.creat("/projects/repro/notes.txt")
+    yield from client.write(fd, 24_000)
+    yield from client.close(fd)
+
+    fd = yield from client.open("/projects/repro/notes.txt")
+    got = yield from client.read(fd, 64_000)
+    yield from client.close(fd)
+
+    names = yield from client.readdir("/projects/repro")
+    st = yield from client.stat("/projects/repro/notes.txt")
+    return got, names, st.size
+
+
+def main():
+    print("%-14s %10s %10s %12s %10s" % (
+        "stack", "messages", "bytes", "sim time", "read back"))
+    print("-" * 62)
+    for kind in STACK_KINDS:
+        stack = make_stack(kind)
+        snap = stack.snapshot()
+        start = stack.now
+        got, names, size = stack.run(workload(stack.client))
+        stack.quiesce()            # let async write-back/journal settle
+        delta = stack.delta(snap)
+        assert names == ["notes.txt"] and size == 24_000
+        print("%-14s %10d %10d %10.2fms %9dB" % (
+            kind, delta.messages, delta.total_bytes,
+            (stack.now - start) * 1000, got))
+
+    print()
+    print("Things to notice (the paper's Section 4 in miniature):")
+    print(" * iSCSI moves more bytes (whole 4 KB blocks) but needs far")
+    print("   fewer messages once its cache is warm;")
+    print(" * NFS v4 sends more messages than v2/v3 (per-directory ACCESS")
+    print("   checks and the OPEN/CLOSE ceremony);")
+    print(" * nfs-enhanced (Section 7) batches its meta-data updates the")
+    print("   way ext3's journal does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: two workstations sharing one NFS export.
+
+The paper studies the *unshared* case and observes that NFS's overheads —
+consistency checks, synchronous meta-data updates — are the price of its
+sharing semantics.  This example shows that machinery doing its job: two
+live clients on one export, with plain NFS v3 (weak, timeout-based
+consistency) and with the Section-7 enhanced NFS (strong, callback-based
+consistency).
+
+Run:  python examples/shared_namespace.py
+"""
+
+from repro.core.multiclient import SharedNfsTestbed
+
+
+def collaborate(bed):
+    """Client A edits; client B watches.  Returns what B observed."""
+    a, b = bed.clients
+
+    def work():
+        observations = []
+        fd = yield from a.creat("/paper.tex")
+        yield from a.write(fd, 10_000)
+        yield from a.close(fd)
+        yield from a.quiesce()
+
+        st = yield from b.stat("/paper.tex")
+        observations.append(("B first stat", st.size))
+
+        # A keeps appending; B polls every few seconds.
+        for round_number in range(1, 4):
+            fd = yield from a.open("/paper.tex", 1)
+            yield from a.pwrite(fd, 5_000, 10_000 + (round_number - 1) * 5_000)
+            yield from a.close(fd)
+            yield from a.quiesce()
+            yield bed.sim.timeout(4.0)
+            st = yield from b.stat("/paper.tex")
+            observations.append(("B poll %d" % round_number, st.size))
+        return observations
+
+    return bed.run(work())
+
+
+def main():
+    for kind in ("nfsv3", "nfs-enhanced"):
+        bed = SharedNfsTestbed(nclients=2, kind=kind)
+        observations = collaborate(bed)
+        bed.quiesce()
+        print("== %s ==" % kind)
+        for label, size in observations:
+            print("   %-12s sees %6d bytes" % (label, size))
+        print("   messages: A=%d B=%d   server callbacks: %d" % (
+            bed.counters[0].messages, bed.counters[1].messages,
+            bed.callbacks_sent))
+        print()
+
+    print("Both protocols keep the clients coherent.  Plain NFS v3 does it")
+    print("by re-checking attributes after its 3 s validity window — cost")
+    print("paid by every client on every path, shared or not.  Enhanced")
+    print("NFS does it with server callbacks: B's cache stays hot until A")
+    print("actually changes something — which is why its message counts")
+    print("are lower even while sharing.")
+
+
+if __name__ == "__main__":
+    main()

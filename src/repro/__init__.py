@@ -1,0 +1,60 @@
+"""repro — a simulation-based reproduction of
+"A Performance Comparison of NFS and iSCSI for IP-Networked Storage"
+(Radkov, Yin, Goyal, Sarkar, Shenoy — FAST 2004).
+
+The package builds complete, instrumented models of both IP-storage
+stacks of the paper — NFS v2/v3/v4 (file-access) and iSCSI over an
+ext3-like client filesystem (block-access) — on a discrete-event
+simulator, and re-runs every experiment in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import make_stack
+>>> stack = make_stack("iscsi")
+>>> client = stack.client
+>>> def work():
+...     yield from client.mkdir("/data")
+...     fd = yield from client.creat("/data/hello")
+...     yield from client.write(fd, 4096)
+...     yield from client.close(fd)
+>>> snap = stack.snapshot()
+>>> stack.run(work())
+>>> stack.quiesce()
+>>> stack.delta(snap).messages  # SCSI commands this took
+"""
+
+from .core.comparison import STACK_KINDS, StorageStack, make_stack
+from .core.counters import CountersSnapshot, MessageCounters
+from .core.params import (
+    CacheParams,
+    CpuParams,
+    DiskParams,
+    Ext3Params,
+    IscsiParams,
+    NetworkParams,
+    NfsParams,
+    RaidParams,
+    TestbedParams,
+)
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheParams",
+    "CountersSnapshot",
+    "CpuParams",
+    "DiskParams",
+    "Ext3Params",
+    "IscsiParams",
+    "MessageCounters",
+    "NetworkParams",
+    "NfsParams",
+    "RaidParams",
+    "STACK_KINDS",
+    "Simulator",
+    "StorageStack",
+    "TestbedParams",
+    "make_stack",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Caching substrate: buffer cache, page cache, and policies."""
+
+from .block_cache import BlockCache
+from .page_cache import Page, PageCache
+from .policies import CacheStats, LruDict
+
+__all__ = ["BlockCache", "CacheStats", "LruDict", "Page", "PageCache"]

@@ -1,0 +1,345 @@
+"""Command-line front end: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2 [--depth 0 3]
+    python -m repro table4 [--mb 16]
+    python -m repro table5 [--transactions 8000] [--files 1000]
+    python -m repro fig4 --op mkdir
+    python -m repro fig6 [--mb 4]
+    python -m repro fig7
+    python -m repro sec7
+    python -m repro quick
+
+Each subcommand runs the corresponding experiment at a tractable scale and
+prints the same rows the paper reports.  For the asserted paper-vs-measured
+comparison, run the pytest benchmarks instead (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.comparison import STACK_KINDS, make_stack
+
+
+def _print_table(headers, rows):
+    widths = [max(len(str(headers[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_list(_args) -> int:
+    print("stacks:     %s" % ", ".join(STACK_KINDS))
+    print("artifacts:  table2 table3 table4 table5 table6 table7 table8")
+    print("            table9 table10 fig3 fig4 fig5 fig6 fig7 sec7 quick")
+    return 0
+
+
+def cmd_quick(_args) -> int:
+    for kind in STACK_KINDS:
+        stack = make_stack(kind)
+        client = stack.client
+
+        def work(client=client):
+            yield from client.mkdir("/d")
+            fd = yield from client.creat("/d/f")
+            yield from client.write(fd, 16_384)
+            yield from client.close(fd)
+            yield from client.stat("/d/f")
+
+        snap = stack.snapshot()
+        stack.run(work())
+        stack.quiesce()
+        delta = stack.delta(snap)
+        print("%-14s msgs=%-5d bytes=%-8d t=%.2fms" % (
+            kind, delta.messages, delta.total_bytes, stack.now * 1000))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .workloads import SYSCALL_OPS, run_syscall_table
+
+    results = run_syscall_table(depths=tuple(args.depth), warm=args.warm)
+    for depth in args.depth:
+        print("\n%s cache, depth %d" % ("warm" if args.warm else "cold", depth))
+        rows = [[op] + [results[depth][op][k]
+                        for k in ("nfsv2", "nfsv3", "nfsv4", "iscsi")]
+                for op in SYSCALL_OPS]
+        _print_table(["syscall", "v2", "v3", "v4", "iscsi"], rows)
+    return 0
+
+
+def cmd_table4(args) -> int:
+    from .workloads import SeqRandWorkload
+
+    rows = []
+    for kind in ("nfsv3", "iscsi"):
+        workload = SeqRandWorkload(kind, file_mb=args.mb)
+        for mode, result in (
+            ("seq-read", workload.run_read(True)),
+            ("rand-read", workload.run_read(False)),
+            ("seq-write", workload.run_write(True)),
+            ("rand-write", workload.run_write(False)),
+        ):
+            rows.append([kind, mode, "%.2fs" % result.completion_time,
+                         result.messages, "%.1fMB" % (result.bytes / 1e6)])
+    print("%d MB streaming I/O" % args.mb)
+    _print_table(["stack", "mode", "time", "messages", "bytes"], rows)
+    return 0
+
+
+def cmd_table5(args) -> int:
+    from .workloads import PostMark
+
+    rows = []
+    for kind in ("nfsv3", "nfs-enhanced", "iscsi"):
+        result = PostMark(kind, file_count=args.files,
+                          transactions=args.transactions).run()
+        rows.append([kind, "%.2fs" % result.completion_time, result.messages,
+                     "%.0f%%" % (result.server_cpu * 100),
+                     "%.0f%%" % (result.client_cpu * 100)])
+    print("PostMark: %d transactions, %d files" % (args.transactions, args.files))
+    _print_table(["stack", "time", "messages", "srv CPU", "cli CPU"], rows)
+    return 0
+
+
+def cmd_table6(args) -> int:
+    from .workloads import TpccWorkload
+
+    rows = []
+    base = None
+    for kind in ("nfsv3", "iscsi"):
+        result = TpccWorkload(kind, transactions=args.transactions).run()
+        base = base or result.throughput
+        rows.append([kind, "%.2f" % (result.throughput / base),
+                     result.messages,
+                     "%.0f%%" % (result.server_cpu * 100)])
+    print("TPC-C-like OLTP: %d transactions" % args.transactions)
+    _print_table(["stack", "tpmC (norm)", "messages", "srv CPU"], rows)
+    return 0
+
+
+def cmd_table7(args) -> int:
+    from .workloads import TpchWorkload
+
+    rows = []
+    base = None
+    for kind in ("nfsv3", "iscsi"):
+        result = TpchWorkload(kind, queries=args.queries,
+                              database_mb=args.mb).run()
+        base = base or result.throughput
+        rows.append([kind, "%.2f" % (result.throughput / base),
+                     result.messages,
+                     "%.0f%%" % (result.server_cpu * 100)])
+    print("TPC-H-like DSS: %d queries over %d MB" % (args.queries, args.mb))
+    _print_table(["stack", "QphH (norm)", "messages", "srv CPU"], rows)
+    return 0
+
+
+def cmd_table8(args) -> int:
+    from .workloads import KernelTreeOps, TreeSpec
+
+    spec = TreeSpec(top_dirs=args.dirs)
+    rows = []
+    for kind in ("nfsv3", "iscsi"):
+        result = KernelTreeOps(kind, spec).run_all()
+        rows.append([kind, "%.2fs" % result.tar_seconds,
+                     "%.2fs" % result.ls_seconds,
+                     "%.2fs" % result.make_seconds,
+                     "%.2fs" % result.rm_seconds])
+    print("kernel-tree ops (%d files)" % spec.total_files)
+    _print_table(["stack", "tar", "ls -lR", "make", "rm -rf"], rows)
+    return 0
+
+
+def cmd_tables910(args) -> int:
+    from .workloads import PostMark, TpccWorkload, TpchWorkload
+
+    rows = []
+    for kind in ("nfsv3", "iscsi"):
+        pm = PostMark(kind, file_count=500,
+                      transactions=args.transactions).run()
+        cc = TpccWorkload(kind, transactions=max(200, args.transactions // 8)).run()
+        ch = TpchWorkload(kind, queries=3, database_mb=96).run()
+        rows.append([kind,
+                     "%.0f%%/%.0f%%" % (pm.server_cpu * 100, pm.client_cpu * 100),
+                     "%.0f%%/%.0f%%" % (cc.server_cpu * 100, cc.client_cpu * 100),
+                     "%.0f%%/%.0f%%" % (ch.server_cpu * 100, ch.client_cpu * 100)])
+    print("CPU utilization (server/client)")
+    _print_table(["stack", "PostMark", "TPC-C", "TPC-H"], rows)
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    from .workloads import run_batching_sweep
+
+    sweep = run_batching_sweep(args.op)
+    _print_table(["batch", "msgs/op"],
+                 [[n, "%.2f" % v] for n, v in sorted(sweep.items())])
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from .workloads import run_depth_sweep
+
+    rows = []
+    depths = tuple(range(0, 17, 4))
+    for kind in ("nfsv3", "nfsv4", "iscsi"):
+        sweep = run_depth_sweep(args.op, kind, depths)
+        rows.append([kind + " cold"] + [sweep[d] for d in depths])
+    warm = run_depth_sweep(args.op, "iscsi", depths, warm=True)
+    rows.append(["iscsi warm"] + [warm[d] for d in depths])
+    print("messages vs depth [%s]" % args.op)
+    _print_table(["series"] + ["d=%d" % d for d in depths], rows)
+    return 0
+
+
+def cmd_fig5(_args) -> int:
+    from .workloads import run_io_size_sweep
+
+    sizes = tuple(2 ** e for e in range(7, 17))
+    for mode in ("cold-read", "warm-read", "cold-write"):
+        print("\n%s" % mode)
+        rows = []
+        for kind in ("nfsv2", "nfsv3", "nfsv4", "iscsi"):
+            sweep = run_io_size_sweep(kind, mode, sizes=sizes)
+            rows.append([kind] + [sweep[s] for s in sizes])
+        _print_table(["stack"] + [str(s) for s in sizes], rows)
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from .workloads import SeqRandWorkload
+
+    rtts = (0.010, 0.030, 0.050, 0.070, 0.090)
+    for mode in ("read", "write"):
+        print("\nsequential %ss of a %d MB file" % (mode, args.mb))
+        rows = []
+        for kind in ("nfsv3", "iscsi"):
+            row = [kind]
+            for rtt in rtts:
+                workload = SeqRandWorkload(kind, file_mb=args.mb, rtt=rtt)
+                result = (workload.run_read(True) if mode == "read"
+                          else workload.run_write(True))
+                row.append("%.1fs" % result.completion_time)
+            rows.append(row)
+        _print_table(["stack"] + ["%dms" % int(r * 1000) for r in rtts], rows)
+    return 0
+
+
+def cmd_fig7(_args) -> int:
+    from .traces import (CAMPUS_PROFILE, EECS_PROFILE, TraceGenerator,
+                         analyze_sharing)
+
+    for profile in (EECS_PROFILE, CAMPUS_PROFILE):
+        events = list(TraceGenerator(profile).events(limit=150_000))
+        print("\n%s trace" % profile.name)
+        rows = []
+        for point in analyze_sharing(events):
+            rows.append(["%.0f" % point.interval,
+                         "%.3f" % point.read_by_one,
+                         "%.3f" % point.read_by_multiple,
+                         "%.3f" % point.written_by_one,
+                         "%.3f" % point.written_by_multiple,
+                         "%.3f" % point.read_write_shared])
+        _print_table(["T", "r-by-1", "r-by-N", "w-by-1", "w-by-N", "rw"], rows)
+    return 0
+
+
+def cmd_sec7(_args) -> int:
+    from .traces import EECS_PROFILE, TraceGenerator, sweep_cache_sizes
+
+    events = list(TraceGenerator(EECS_PROFILE).events(limit=150_000))
+    rows = []
+    for size, result in sorted(sweep_cache_sizes(events).items()):
+        rows.append([size, result.baseline_messages, result.consistent_messages,
+                     "%.1f%%" % (result.reduction * 100),
+                     "%.1e" % result.callback_ratio])
+    print("strongly-consistent meta-data cache (EECS-like trace)")
+    _print_table(["cache", "baseline", "consistent", "reduction", "cb ratio"],
+                 rows)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from the FAST'04 NFS-vs-iSCSI paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list").set_defaults(func=cmd_list)
+    sub.add_parser("quick").set_defaults(func=cmd_quick)
+
+    t2 = sub.add_parser("table2")
+    t2.add_argument("--depth", type=int, nargs="+", default=[0, 3])
+    t2.set_defaults(func=cmd_table2, warm=False)
+    t3 = sub.add_parser("table3")
+    t3.add_argument("--depth", type=int, nargs="+", default=[0])
+    t3.set_defaults(func=cmd_table2, warm=True)
+
+    t4 = sub.add_parser("table4")
+    t4.add_argument("--mb", type=int, default=16)
+    t4.set_defaults(func=cmd_table4)
+
+    t5 = sub.add_parser("table5")
+    t5.add_argument("--transactions", type=int, default=5000)
+    t5.add_argument("--files", type=int, default=1000)
+    t5.set_defaults(func=cmd_table5)
+
+    t6 = sub.add_parser("table6")
+    t6.add_argument("--transactions", type=int, default=1000)
+    t6.set_defaults(func=cmd_table6)
+
+    t7 = sub.add_parser("table7")
+    t7.add_argument("--queries", type=int, default=4)
+    t7.add_argument("--mb", type=int, default=128)
+    t7.set_defaults(func=cmd_table7)
+
+    t8 = sub.add_parser("table8")
+    t8.add_argument("--dirs", type=int, default=12)
+    t8.set_defaults(func=cmd_table8)
+
+    t9 = sub.add_parser("table9")
+    t9.add_argument("--transactions", type=int, default=4000)
+    t9.set_defaults(func=cmd_tables910)
+    t10 = sub.add_parser("table10")
+    t10.add_argument("--transactions", type=int, default=4000)
+    t10.set_defaults(func=cmd_tables910)
+
+    f3 = sub.add_parser("fig3")
+    f3.add_argument("--op", default="mkdir")
+    f3.set_defaults(func=cmd_fig3)
+
+    f4 = sub.add_parser("fig4")
+    f4.add_argument("--op", default="mkdir")
+    f4.set_defaults(func=cmd_fig4)
+
+    sub.add_parser("fig5").set_defaults(func=cmd_fig5)
+
+    f6 = sub.add_parser("fig6")
+    f6.add_argument("--mb", type=int, default=4)
+    f6.set_defaults(func=cmd_fig6)
+
+    sub.add_parser("fig7").set_defaults(func=cmd_fig7)
+    sub.add_parser("sec7").set_defaults(func=cmd_sec7)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

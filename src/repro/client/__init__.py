@@ -1,0 +1,5 @@
+"""Client-host substrate: machines and the shared syscall surface."""
+
+from .host import Host
+
+__all__ = ["Host"]

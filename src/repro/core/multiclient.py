@@ -1,0 +1,154 @@
+"""A multi-client NFS testbed.
+
+The paper deliberately studies the *unshared* case — one client per data
+store — and notes that NFS's costs (consistency checks, synchronous
+meta-data updates) exist to pay for sharing.  This module builds the
+configuration those costs were designed for: **several client machines
+mounting one NFS export**, each over its own Gigabit link, all served by
+one filesystem on the server.
+
+It is the live counterpart to the Section-7 trace simulation: with the
+enhancements enabled, cache-invalidation callbacks and directory-
+delegation recalls actually travel between real protocol endpoints here.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..client.host import Host
+from ..fs.ext3 import Ext3Fs
+from ..net.link import Link
+from ..net.rpc import RetransmitPolicy, RpcPeer
+from ..net.transport import DuplexTransport
+from ..nfs.client import NfsClient
+from ..nfs.server import NfsServer, ServerState
+from ..sim import Simulator
+from ..storage.raid import Raid5Volume
+from .comparison import StorageStack
+from .counters import MessageCounters
+from .params import TestbedParams
+
+__all__ = ["SharedNfsTestbed"]
+
+
+class SharedNfsTestbed:
+    """``nclients`` NFS clients sharing one server and one filesystem."""
+
+    def __init__(
+        self,
+        nclients: int = 2,
+        kind: str = "nfsv3",
+        params: Optional[TestbedParams] = None,
+    ):
+        if kind == "iscsi":
+            raise ValueError(
+                "iSCSI volumes are single-client by design (Section 2.3); "
+                "a shared testbed requires an NFS kind"
+            )
+        if nclients < 2:
+            raise ValueError("a shared testbed needs at least two clients")
+        self.kind = kind
+        self.params = StorageStack._specialize_params(
+            kind, params if params is not None else TestbedParams()
+        )
+        self.sim = Simulator()
+        cpu = self.params.cpu
+        self.server_host = Host(self.sim, cpu.server_cpus, "server")
+        self.raid = Raid5Volume(
+            self.sim,
+            raid_params=self.params.raid,
+            disk_params=self.params.disk,
+            cpu=self.server_host.cpu,
+            parity_cpu_per_byte=cpu.raid_parity_per_byte,
+            io_cpu=cpu.disk_io_issue,
+            name="array",
+        )
+        self.fs = Ext3Fs(
+            self.sim,
+            self.raid,
+            cache_bytes=self.params.cache.server_cache_bytes,
+            params=self.params.ext3,
+            cpu=self.server_host.cpu,
+            cpu_params=cpu,
+            readahead_blocks=8,
+            testbed=self.params,
+            name="server-ext3",
+        )
+        self.state = ServerState()
+        self.client_hosts: List[Host] = []
+        self.clients: List[NfsClient] = []
+        self.counters: List[MessageCounters] = []
+        self.servers: List[NfsServer] = []
+        for index in range(nclients):
+            self._add_client(index)
+        self.sim.run_process(self.fs.mount(), name="mount")
+
+    def _add_client(self, index: int) -> None:
+        cpu = self.params.cpu
+        nfs = self.params.nfs
+        host = Host(self.sim, cpu.client_cpus, "client%d" % index)
+        link = Link(self.sim, rtt=self.params.network.rtt,
+                    bandwidth=self.params.network.bandwidth)
+        counters = MessageCounters()
+        transport = DuplexTransport(
+            self.sim, link, counters=counters,
+            reliable=nfs.transport != "udp",
+            name="%s.c%d" % (self.kind, index),
+        )
+        server_rpc = RpcPeer(
+            self.sim, transport.server, transport.send_from_server,
+            cpu=self.server_host.cpu,
+            per_message_cpu=(cpu.net_per_message + cpu.rpc_layer
+                             + cpu.nfs_server_layer),
+            per_byte_cpu=cpu.copy_per_byte,
+            name="nfsd.c%d" % index,
+        )
+        # All frontends share the filesystem, the delegation/cache state,
+        # and the per-inode write locks.
+        server = NfsServer(self.sim, self.fs, server_rpc, params=nfs,
+                           cpu_params=cpu, state=self.state,
+                           name="nfsd.c%d" % index)
+        client_rpc = RpcPeer(
+            self.sim, transport.client, transport.send_from_client,
+            cpu=host.cpu,
+            per_message_cpu=cpu.net_per_message + cpu.rpc_layer,
+            per_byte_cpu=cpu.copy_per_byte,
+            retransmit=RetransmitPolicy(
+                timeout=nfs.rpc_timeout,
+                backoff=nfs.rpc_timeout_backoff,
+                max_retries=nfs.rpc_max_retries,
+                reset_connection=nfs.transport == "tcp",
+            ),
+            name="nfs.c%d" % index,
+        )
+        client = NfsClient(
+            self.sim, client_rpc, params=nfs,
+            cache_params=self.params.cache, cpu_params=cpu,
+            name="nfs-client%d" % index,
+            client_id="client%d" % index,
+        )
+        self.client_hosts.append(host)
+        self.clients.append(client)
+        self.counters.append(counters)
+        self.servers.append(server)
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, coroutine: Generator, name: str = "workload"):
+        """Execute the workload; returns its result record."""
+        return self.sim.run_process(coroutine, name=name)
+
+    def quiesce(self) -> None:
+        """Settle all asynchronous state on every client and the server."""
+        for client in self.clients:
+            self.run(client.quiesce(), name="quiesce")
+        self.run(self.fs.quiesce(), name="server-quiesce")
+
+    @property
+    def total_messages(self) -> int:
+        return sum(counters.messages for counters in self.counters)
+
+    @property
+    def callbacks_sent(self) -> int:
+        return self.state.callbacks_sent

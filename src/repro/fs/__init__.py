@@ -1,0 +1,41 @@
+"""ext3-like journaling filesystem substrate."""
+
+from .alloc import ExtentAllocator, IdAllocator
+from .errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    FsError,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NotADirectory,
+    PermissionDenied,
+)
+from .ext3 import Ext3Fs, ROOT_INO
+from .inode import FileAttributes, FileType, Inode
+from .journal import Journal
+from .layout import DiskLayout
+from .vfs import Vfs
+
+__all__ = [
+    "DirectoryNotEmpty",
+    "DiskLayout",
+    "ExtentAllocator",
+    "Ext3Fs",
+    "FileAttributes",
+    "FileExists",
+    "FileNotFound",
+    "FileType",
+    "FsError",
+    "IdAllocator",
+    "Inode",
+    "InvalidArgument",
+    "IsADirectory",
+    "Journal",
+    "NoSpace",
+    "NotADirectory",
+    "PermissionDenied",
+    "ROOT_INO",
+    "Vfs",
+]

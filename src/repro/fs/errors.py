@@ -1,0 +1,69 @@
+"""Filesystem error types (mirroring the POSIX errnos the syscalls raise)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "FsError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "NoSpace",
+    "PermissionDenied",
+    "InvalidArgument",
+]
+
+
+class FsError(OSError):
+    """Base class for simulated filesystem errors."""
+
+    errno_name = "EIO"
+
+
+class FileNotFound(FsError):
+    """ENOENT: the path or inode does not exist."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(FsError):
+    """EEXIST: the name is already taken."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(FsError):
+    """ENOTDIR: a directory operation hit a non-directory."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(FsError):
+    """EISDIR: a file operation hit a directory."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(FsError):
+    """ENOTEMPTY: rmdir of a non-empty directory."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class NoSpace(FsError):
+    """ENOSPC: out of inodes or data blocks."""
+
+    errno_name = "ENOSPC"
+
+
+class PermissionDenied(FsError):
+    """EACCES: the mode bits forbid the access."""
+
+    errno_name = "EACCES"
+
+
+class InvalidArgument(FsError):
+    """EINVAL: a malformed path, fd, or parameter."""
+
+    errno_name = "EINVAL"

@@ -1,0 +1,82 @@
+"""On-disk layout: where each kind of block lives.
+
+The layout is a simplified ext3 image:
+
+    [ superblock | group descriptors | inode bitmap | block bitmap |
+      inode table | journal | data ... ]
+
+Only the *addresses* matter — the buffer cache and the message counters see
+block numbers, and distinct meta-data structures landing in distinct blocks
+is exactly what makes cold-cache iSCSI operations cost several block reads
+(Table 2) while co-located inodes make warm operations free (Table 3).
+"""
+
+from __future__ import annotations
+
+from ..core.params import Ext3Params
+
+__all__ = ["DiskLayout"]
+
+BITS_PER_BITMAP_BLOCK = 32 * 1024  # 4 KB of bits
+
+
+class DiskLayout:
+    """Block-address arithmetic for the filesystem image."""
+
+    def __init__(
+        self,
+        total_blocks: int,
+        max_inodes: int = 65536,
+        journal_blocks: int = 8192,
+        params: Ext3Params = None,
+    ):
+        self.params = params if params is not None else Ext3Params()
+        self.total_blocks = total_blocks
+        self.max_inodes = max_inodes
+        self.journal_blocks = journal_blocks
+
+        self.superblock = 0
+        self.group_desc = 1
+        self.inode_bitmap_start = 2
+        self.inode_bitmap_blocks = _ceil_div(max_inodes, BITS_PER_BITMAP_BLOCK)
+        self.block_bitmap_start = self.inode_bitmap_start + self.inode_bitmap_blocks
+        self.block_bitmap_blocks = _ceil_div(total_blocks, BITS_PER_BITMAP_BLOCK)
+        self.inode_table_start = self.block_bitmap_start + self.block_bitmap_blocks
+        self.inode_table_blocks = _ceil_div(max_inodes, self.params.inodes_per_block)
+        self.journal_start = self.inode_table_start + self.inode_table_blocks
+        self.data_start = self.journal_start + journal_blocks
+        if self.data_start >= total_blocks:
+            raise ValueError(
+                "layout does not fit: meta-data needs %d blocks of %d"
+                % (self.data_start, total_blocks)
+            )
+
+    @property
+    def data_blocks(self) -> int:
+        return self.total_blocks - self.data_start
+
+    def inode_table_block(self, ino: int) -> int:
+        """The inode-table block holding inode ``ino``."""
+        if not 1 <= ino <= self.max_inodes:
+            raise ValueError("inode %d out of range" % ino)
+        return self.inode_table_start + (ino - 1) // self.params.inodes_per_block
+
+    def inode_bitmap_block(self, ino: int) -> int:
+        """The inode-bitmap block covering inode ``ino``."""
+        if not 1 <= ino <= self.max_inodes:
+            raise ValueError("inode %d out of range" % ino)
+        return self.inode_bitmap_start + (ino - 1) // BITS_PER_BITMAP_BLOCK
+
+    def block_bitmap_block(self, block: int) -> int:
+        """The block-bitmap block covering ``block``."""
+        if not 0 <= block < self.total_blocks:
+            raise ValueError("block %d out of range" % block)
+        return self.block_bitmap_start + block // BITS_PER_BITMAP_BLOCK
+
+    def journal_block(self, offset: int) -> int:
+        """The physical block for journal offset ``offset`` (wrapping)."""
+        return self.journal_start + offset % self.journal_blocks
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,298 @@
+"""VFS layer: path resolution and the syscall-level interface.
+
+:class:`Vfs` exposes the system calls of the paper's Table 1 over a local
+:class:`~repro.fs.ext3.Ext3Fs`.  In the iSCSI setup this *is* the client's
+interface (the filesystem runs at the client over the remote block device);
+the NFS client implements the same call surface over RPCs, so workloads run
+unchanged against either stack.
+
+Path walking reads, per component, the directory's content block(s) to find
+the entry and then the child's inode-table block — two (cached) block
+accesses per level, which is where iSCSI's cold-cache depth sensitivity in
+Figure 4 comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .errors import FileNotFound, InvalidArgument, NotADirectory, PermissionDenied
+from .ext3 import Ext3Fs, ROOT_INO
+from .inode import FileAttributes, Inode
+
+__all__ = ["Vfs"]
+
+MAX_SYMLINK_DEPTH = 8
+
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+
+
+class _OpenFile:
+    __slots__ = ("inode", "offset")
+
+    def __init__(self, inode: Inode):
+        self.inode = inode
+        self.offset = 0
+
+
+class Vfs:
+    """Path-based syscalls over a mounted filesystem."""
+
+    def __init__(self, fs: Ext3Fs):
+        self.fs = fs
+        self.cwd_ino = ROOT_INO
+        self._fds: Dict[int, _OpenFile] = {}
+        self._next_fd = 3
+
+    # -- path resolution -------------------------------------------------------------
+
+    def _split(self, path: str) -> Tuple[int, List[str]]:
+        if not path:
+            raise InvalidArgument("empty path")
+        start = ROOT_INO if path.startswith("/") else self.cwd_ino
+        parts = [p for p in path.split("/") if p and p != "."]
+        return start, parts
+
+    def resolve(self, path: str, follow: bool = True, _depth: int = 0) -> Generator:
+        """Coroutine: walk ``path`` to its inode."""
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise InvalidArgument("too many levels of symbolic links")
+        start, parts = self._split(path)
+        inode = yield from self.fs.iget(start)
+        for i, name in enumerate(parts):
+            if not inode.is_dir:
+                raise NotADirectory(name)
+            ino = yield from self.fs.dir_lookup(inode, name)
+            inode = yield from self.fs.iget(ino)
+            last = i == len(parts) - 1
+            if inode.is_symlink and (follow or not last):
+                target = yield from self.fs.readlink(inode)
+                rest = "/".join(parts[i + 1:])
+                full = target + ("/" + rest if rest else "")
+                # The remainder of the path was folded into `full`.
+                inode = yield from self.resolve(full, follow, _depth + 1)
+                return inode
+        return inode
+
+    def resolve_parent(self, path: str) -> Generator:
+        """Coroutine: walk to the parent directory; returns (parent, name)."""
+        start, parts = self._split(path)
+        if not parts:
+            raise InvalidArgument("path %r has no final component" % path)
+        inode = yield from self.fs.iget(start)
+        for name in parts[:-1]:
+            if not inode.is_dir:
+                raise NotADirectory(name)
+            ino = yield from self.fs.dir_lookup(inode, name)
+            inode = yield from self.fs.iget(ino)
+        if not inode.is_dir:
+            raise NotADirectory(parts[-1])
+        return inode, parts[-1]
+
+    # -- directory syscalls ------------------------------------------------------------
+
+    def mkdir(self, path: str, mode: int = 0o755) -> Generator:
+        """Coroutine: create a directory at ``path``."""
+        parent, name = yield from self.resolve_parent(path)
+        yield from self.fs.mkdir(parent, name, mode)
+        return None
+
+    def rmdir(self, path: str) -> Generator:
+        """Coroutine: remove the empty directory at ``path``."""
+        parent, name = yield from self.resolve_parent(path)
+        yield from self.fs.rmdir(parent, name)
+        return None
+
+    def chdir(self, path: str) -> Generator:
+        """Coroutine: change the working directory to ``path``."""
+        inode = yield from self.resolve(path)
+        if not inode.is_dir:
+            raise NotADirectory(path)
+        self.cwd_ino = inode.ino
+        return None
+
+    def readdir(self, path: str) -> Generator:
+        """Coroutine: list the names in the directory at ``path``."""
+        inode = yield from self.resolve(path)
+        names = yield from self.fs.readdir(inode)
+        return names
+
+    def symlink(self, target: str, path: str) -> Generator:
+        """Coroutine: create a symbolic link ``path`` -> ``target``."""
+        parent, name = yield from self.resolve_parent(path)
+        yield from self.fs.symlink(parent, name, target)
+        return None
+
+    def readlink(self, path: str) -> Generator:
+        """Coroutine: return the target of the symlink at ``path``."""
+        inode = yield from self.resolve(path, follow=False)
+        value = yield from self.fs.readlink(inode)
+        return value
+
+    # -- file syscalls -------------------------------------------------------------------
+
+    def creat(self, path: str, mode: int = 0o644) -> Generator:
+        """Coroutine: create/truncate a file; returns a descriptor."""
+        fd = yield from self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode)
+        return fd
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> Generator:
+        """Coroutine: open ``path`` (O_CREAT/O_TRUNC honored); returns a descriptor."""
+        parent, name = yield from self.resolve_parent(path)
+        try:
+            ino = yield from self.fs.dir_lookup(parent, name)
+            inode = yield from self.fs.iget(ino)
+            if inode.is_symlink:
+                inode = yield from self.resolve(path)
+            if flags & O_TRUNC and inode.is_file:
+                yield from self.fs.truncate(inode, 0)
+        except FileNotFound:
+            if not flags & O_CREAT:
+                raise
+            inode = yield from self.fs.create(parent, name, mode)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = _OpenFile(inode)
+        return fd
+
+    def close(self, fd: int) -> Generator:
+        """Coroutine: release the descriptor (close-to-open semantics apply)."""
+        if fd not in self._fds:
+            raise InvalidArgument("bad fd %d" % fd)
+        del self._fds[fd]
+        return None
+        yield  # pragma: no cover - makes close a coroutine like NfsClient's
+
+    def unlink(self, path: str) -> Generator:
+        """Coroutine: remove the file at ``path``."""
+        parent, name = yield from self.resolve_parent(path)
+        yield from self.fs.unlink(parent, name)
+        return None
+
+    def link(self, existing: str, new: str) -> Generator:
+        """Coroutine: hard-link ``existing`` as ``new``."""
+        target = yield from self.resolve(existing)
+        parent, name = yield from self.resolve_parent(new)
+        yield from self.fs.link(parent, name, target)
+        return None
+
+    def rename(self, old: str, new: str) -> Generator:
+        """Coroutine: atomically rename ``old`` to ``new``."""
+        src_parent, src_name = yield from self.resolve_parent(old)
+        dst_parent, dst_name = yield from self.resolve_parent(new)
+        yield from self.fs.rename(src_parent, src_name, dst_parent, dst_name)
+        return None
+
+    def truncate(self, path: str, size: int) -> Generator:
+        """Coroutine: set the file at ``path`` to ``size`` bytes."""
+        inode = yield from self.resolve(path)
+        yield from self.fs.truncate(inode, size)
+        return None
+
+    def chmod(self, path: str, mode: int) -> Generator:
+        """Coroutine: change the mode bits of ``path``."""
+        inode = yield from self.resolve(path)
+        yield from self.fs.setattr(inode, mode=mode)
+        return None
+
+    def chown(self, path: str, uid: int, gid: int = 0) -> Generator:
+        """Coroutine: change the ownership of ``path``."""
+        inode = yield from self.resolve(path)
+        yield from self.fs.setattr(inode, uid=uid, gid=gid)
+        return None
+
+    def access(self, path: str, want: int = 4) -> Generator:
+        """Coroutine: permission check on ``path``; returns a boolean."""
+        inode = yield from self.resolve(path)
+        return self.fs.access(inode, want)
+
+    def stat(self, path: str) -> Generator:
+        """Coroutine: return the file attributes of ``path``."""
+        inode = yield from self.resolve(path)
+        return self.fs.getattr(inode)
+
+    def utime(self, path: str, atime: Optional[float] = None,
+              mtime: Optional[float] = None) -> Generator:
+        """Coroutine: set access/modification times of ``path``."""
+        inode = yield from self.resolve(path)
+        now = self.fs.sim.now
+        yield from self.fs.setattr(
+            inode,
+            atime=atime if atime is not None else now,
+            mtime=mtime if mtime is not None else now,
+        )
+        return None
+
+    # -- data syscalls ---------------------------------------------------------------------
+
+    def read(self, fd: int, size: int) -> Generator:
+        """Coroutine: read up to ``size`` bytes at the descriptor's offset."""
+        handle = self._handle(fd)
+        done = yield from self.fs.read_file(handle.inode, handle.offset, size)
+        handle.offset += done
+        return done
+
+    def write(self, fd: int, size: int) -> Generator:
+        """Coroutine: write ``size`` bytes at the descriptor's offset."""
+        handle = self._handle(fd)
+        done = yield from self.fs.write_file(handle.inode, handle.offset, size)
+        handle.offset += done
+        return done
+
+    def pread(self, fd: int, size: int, offset: int) -> Generator:
+        """Coroutine: read ``size`` bytes at an explicit ``offset``."""
+        handle = self._handle(fd)
+        done = yield from self.fs.read_file(handle.inode, offset, size)
+        return done
+
+    def pwrite(self, fd: int, size: int, offset: int) -> Generator:
+        """Coroutine: write ``size`` bytes at an explicit ``offset``."""
+        handle = self._handle(fd)
+        done = yield from self.fs.write_file(handle.inode, offset, size)
+        return done
+
+    def lseek(self, fd: int, offset: int) -> None:
+        """Reposition the descriptor's offset."""
+        self._handle(fd).offset = offset
+
+    def fstat(self, fd: int) -> Generator:
+        """Coroutine: return the open file's attributes."""
+        return self.fs.getattr(self._handle(fd).inode)
+        yield  # pragma: no cover - makes fstat a coroutine like NfsClient's
+
+    def fsync(self, fd: int) -> Generator:
+        """Coroutine: force the file's data and meta-data to stable storage."""
+        handle = self._handle(fd)
+        yield from self.fs.fsync(handle.inode)
+        return None
+
+    # -- maintenance --------------------------------------------------------------------------
+
+    def quiesce(self) -> Generator:
+        """Coroutine: settle all asynchronous write-back (journal + cache)."""
+        yield from self.fs.quiesce()
+        return None
+
+    def drop_caches(self) -> Generator:
+        """Coroutine: drain and drop caches but keep open file handles."""
+        yield from self.fs.quiesce()
+        self.fs.drop_caches()
+        yield from self.fs.mount()
+        return None
+
+    def remount_cold(self) -> Generator:
+        """Coroutine: quiesce, drop every cache, and re-mount (cold-cache protocol)."""
+        yield from self.fs.remount_cold()
+        self.cwd_ino = ROOT_INO
+        self._fds.clear()
+        return None
+
+    def _handle(self, fd: int) -> _OpenFile:
+        handle = self._fds.get(fd)
+        if handle is None:
+            raise InvalidArgument("bad fd %d" % fd)
+        return handle

@@ -1,0 +1,7 @@
+"""iSCSI protocol stack: initiator (client) and target (server)."""
+
+from . import scsi
+from .initiator import IscsiInitiator
+from .target import IscsiTarget
+
+__all__ = ["IscsiInitiator", "IscsiTarget", "scsi"]

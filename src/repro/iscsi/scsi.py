@@ -1,0 +1,13 @@
+"""SCSI command vocabulary for the iSCSI transport."""
+
+from __future__ import annotations
+
+__all__ = ["READ_10", "WRITE_10", "SYNCHRONIZE_CACHE", "REPORT_CAPACITY",
+           "COMMAND_HEADER_BYTES"]
+
+READ_10 = "SCSI_READ"
+WRITE_10 = "SCSI_WRITE"
+SYNCHRONIZE_CACHE = "SCSI_SYNC"
+REPORT_CAPACITY = "SCSI_CAPACITY"
+
+COMMAND_HEADER_BYTES = 48  # iSCSI basic header segment

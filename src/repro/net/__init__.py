@@ -1,0 +1,20 @@
+"""Network substrate: links, messages, transports, and RPC."""
+
+from .link import GIGABIT_BPS, Link
+from .message import Message, REPLY, REQUEST
+from .rpc import RetransmitPolicy, RpcError, RpcPeer, RpcTimeoutError
+from .transport import DuplexTransport, Endpoint
+
+__all__ = [
+    "DuplexTransport",
+    "Endpoint",
+    "GIGABIT_BPS",
+    "Link",
+    "Message",
+    "REPLY",
+    "REQUEST",
+    "RetransmitPolicy",
+    "RpcError",
+    "RpcPeer",
+    "RpcTimeoutError",
+]

@@ -1,0 +1,78 @@
+"""Point-to-point network link model.
+
+The testbed in the paper is an isolated Gigabit Ethernet segment between one
+client and one server, optionally with NISTNet-injected delay.  We model a
+full-duplex link: each direction is a serial channel with a propagation
+latency and a transmission rate.  A transfer of ``size`` bytes injected at
+time ``t`` begins when the channel frees (FIFO serialization), occupies the
+channel for ``size / bandwidth`` and arrives one propagation latency after
+its last byte is sent.
+
+``one_way_latency`` defaults to half the configured RTT, matching how the
+paper reports NISTNet settings (round-trip values from 10 to 90 ms).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+
+__all__ = ["Link", "GIGABIT_BPS"]
+
+GIGABIT_BPS = 125_000_000  # 1 Gb/s expressed in bytes per second
+
+
+class _Channel:
+    """One direction of the link: a FIFO serial transmission line."""
+
+    def __init__(self, sim: Simulator, latency: float, bandwidth: float):
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._busy_until = 0.0
+        self.bytes_carried = 0
+
+    def delivery_delay(self, size: int) -> float:
+        """Reserve the channel for ``size`` bytes; return delay until arrival."""
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        tx_time = size / self.bandwidth if self.bandwidth else 0.0
+        self._busy_until = start + tx_time
+        self.bytes_carried += size
+        return (start - now) + tx_time + self.latency
+
+
+class Link:
+    """A full-duplex client<->server link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rtt: float = 0.0002,
+        bandwidth: float = GIGABIT_BPS,
+        one_way_latency: Optional[float] = None,
+    ):
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        self.sim = sim
+        self.rtt = rtt
+        latency = one_way_latency if one_way_latency is not None else rtt / 2.0
+        self.forward = _Channel(sim, latency, bandwidth)   # client -> server
+        self.backward = _Channel(sim, latency, bandwidth)  # server -> client
+
+    @property
+    def bandwidth(self) -> float:
+        return self.forward.bandwidth
+
+    def set_rtt(self, rtt: float) -> None:
+        """Reconfigure the propagation delay (the NISTNet knob of Fig. 6)."""
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        self.rtt = rtt
+        self.forward.latency = rtt / 2.0
+        self.backward.latency = rtt / 2.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.forward.bytes_carried + self.backward.bytes_carried

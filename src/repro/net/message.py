@@ -1,0 +1,51 @@
+"""Protocol messages.
+
+A :class:`Message` is the unit the paper's Ethereal traces counted: one
+protocol-level request or reply (an RPC call/reply for NFS, a command or
+response PDU for iSCSI).  Size accounting separates protocol header bytes
+from payload bytes so byte totals track the paper's "Bytes" columns.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Message", "REQUEST", "REPLY"]
+
+REQUEST = "request"
+REPLY = "reply"
+
+_xid_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One protocol message on the wire."""
+
+    op: str
+    kind: str = REQUEST
+    xid: int = field(default_factory=lambda: next(_xid_counter))
+    header_bytes: int = 128
+    payload_bytes: int = 0
+    body: Dict[str, Any] = field(default_factory=dict)
+    is_retransmission: bool = False
+
+    @property
+    def size(self) -> int:
+        return self.header_bytes + self.payload_bytes
+
+    def make_reply(self, payload_bytes: int = 0, **body: Any) -> "Message":
+        """Build the reply paired with this request (same xid)."""
+        return Message(
+            op=self.op,
+            kind=REPLY,
+            xid=self.xid,
+            header_bytes=self.header_bytes,
+            payload_bytes=payload_bytes,
+            body=body,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Message %s %s xid=%d %dB>" % (self.kind, self.op, self.xid, self.size)

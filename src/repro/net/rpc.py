@@ -1,0 +1,239 @@
+"""A Sun-RPC-like request/reply layer.
+
+Both NFS ends are :class:`RpcPeer` objects.  A peer can
+
+* issue calls (:meth:`RpcPeer.call`) — it assigns transaction ids, waits for
+  the matching reply, and (when a retransmission policy is configured)
+  re-sends on timeout with exponential backoff.  This models the Linux NFS
+  client behavior the paper observed in Section 4.6: the client's RPC timer
+  fires at high RTT even though the reply is already in transit, producing
+  spurious retransmissions;
+* serve calls — incoming requests are dispatched to a registered handler
+  coroutine; a duplicate-request cache replays replies for retransmitted
+  xids instead of re-executing them (standard NFS server behavior).
+
+Server→client calls use the same machinery, which is how the Section-7
+enhancements implement cache-invalidation callbacks and delegation recalls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..sim import Event, Resource, Simulator
+from .message import Message, REPLY, REQUEST
+from .transport import Endpoint
+
+__all__ = ["RetransmitPolicy", "RpcError", "RpcTimeoutError", "RpcPeer"]
+
+Handler = Callable[[Message], Generator]
+
+
+class RpcError(RuntimeError):
+    """An RPC-level failure surfaced to the caller."""
+
+
+class RpcTimeoutError(RpcError):
+    """All retransmission attempts exhausted without a reply."""
+
+
+class RetransmitPolicy:
+    """Timeout/backoff schedule for a calling peer."""
+
+    def __init__(
+        self,
+        timeout: float,
+        backoff: float = 2.0,
+        max_retries: int = 5,
+        reset_connection: bool = False,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+        # TCP-mount semantics: a timeout tears the connection down, so the
+        # in-flight reply is lost and the retransmission starts a fresh
+        # exchange (the Linux behavior behind Fig. 6a's divergence).
+        self.reset_connection = reset_connection
+
+    def schedule(self):
+        """Yield successive wait intervals, one per transmission attempt."""
+        wait = self.timeout
+        for _attempt in range(self.max_retries + 1):
+            yield wait
+            wait *= self.backoff
+
+
+class RpcPeer:
+    """One end of an RPC association (see module docstring)."""
+
+    DUPLICATE_CACHE_SIZE = 1024
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        send: Callable[[Message], None],
+        cpu: Optional[Resource] = None,
+        per_message_cpu: float = 0.0,
+        per_byte_cpu: float = 0.0,
+        retransmit: Optional[RetransmitPolicy] = None,
+        name: str = "rpc",
+    ):
+        self.sim = sim
+        self.endpoint = endpoint
+        self._send = send
+        self.cpu = cpu
+        self.per_message_cpu = per_message_cpu
+        self.per_byte_cpu = per_byte_cpu
+        self.retransmit = retransmit
+        self.name = name
+        self.handler: Optional[Handler] = None
+        self._pending: Dict[int, Event] = {}
+        self._duplicate_cache: "OrderedDict[int, Message]" = OrderedDict()
+        self._in_progress: set = set()
+        self.calls_issued = 0
+        self.calls_served = 0
+        self.retransmissions_seen = 0
+        self._dispatcher = sim.spawn(self._dispatch_loop(), name=name + ".dispatch")
+
+    def set_handler(self, handler: Handler) -> None:
+        """Register the serving coroutine: ``handler(msg) -> (payload, body)``."""
+        self.handler = handler
+
+    # -- calling ----------------------------------------------------------------
+
+    def call(
+        self,
+        op: str,
+        payload_bytes: int = 0,
+        header_bytes: int = 128,
+        **body: Any,
+    ) -> Generator[Event, Any, Message]:
+        """Coroutine: send a request and return the matching reply message."""
+        request = Message(
+            op=op,
+            kind=REQUEST,
+            header_bytes=header_bytes,
+            payload_bytes=payload_bytes,
+            body=body,
+        )
+        self.calls_issued += 1
+        yield from self._charge(request.size)
+        reply_event = self.sim.event()
+        self._pending[request.xid] = reply_event
+        try:
+            self._send(request)
+            if self.retransmit is None:
+                reply = yield reply_event
+            else:
+                reply = yield from self._call_with_retries(request, reply_event)
+        finally:
+            self._pending.pop(request.xid, None)
+        return reply
+
+    def _call_with_retries(
+        self, request: Message, reply_event: Event
+    ) -> Generator[Event, Any, Message]:
+        current = request
+        try:
+            for wait in self.retransmit.schedule():
+                timer = self.sim.timeout(wait)
+                winner, value = yield self.sim.any_of([reply_event, timer])
+                if winner is reply_event:
+                    return value
+                # Timer fired first: retransmit.
+                if self.retransmit.reset_connection:
+                    # The connection reset loses the in-flight reply:
+                    # abandon the old xid and start a fresh exchange.
+                    self._pending.pop(current.xid, None)
+                    clone = Message(
+                        op=request.op,
+                        kind=REQUEST,
+                        header_bytes=request.header_bytes,
+                        payload_bytes=request.payload_bytes,
+                        body=request.body,
+                        is_retransmission=True,
+                    )
+                    reply_event = self.sim.event()
+                    self._pending[clone.xid] = reply_event
+                else:
+                    clone = Message(
+                        op=request.op,
+                        kind=REQUEST,
+                        xid=request.xid,
+                        header_bytes=request.header_bytes,
+                        payload_bytes=request.payload_bytes,
+                        body=request.body,
+                        is_retransmission=True,
+                    )
+                current = clone
+                yield from self._charge(clone.size)
+                self._send(clone)
+        finally:
+            self._pending.pop(current.xid, None)
+        raise RpcTimeoutError(
+            "%s: no reply to %s xid=%d after %d attempts"
+            % (self.name, request.op, request.xid, self.retransmit.max_retries + 1)
+        )
+
+    # -- serving ----------------------------------------------------------------
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            message = yield from self.endpoint.inbox.get()
+            if message.kind == REPLY:
+                self._complete_call(message)
+            else:
+                self.sim.spawn(
+                    self._serve(message), name=self.name + ".serve." + message.op
+                )
+
+    def _complete_call(self, message: Message) -> None:
+        pending = self._pending.pop(message.xid, None)
+        if pending is not None:
+            pending.trigger(message)
+        # else: a duplicate reply for a retransmitted call — dropped.
+
+    def _serve(self, message: Message) -> Generator:
+        yield from self._charge(message.size)
+        cached = self._duplicate_cache.get(message.xid)
+        if cached is not None:
+            # Retransmitted request: replay the reply without re-executing.
+            self.retransmissions_seen += 1
+            yield from self._charge(cached.size)
+            self._send(cached)
+            return
+        if message.xid in self._in_progress:
+            # Retransmission of a call still executing: drop it — the
+            # original execution's reply will satisfy the caller.
+            self.retransmissions_seen += 1
+            return
+        if self.handler is None:
+            raise RpcError("%s received a call but has no handler" % (self.name,))
+        self._in_progress.add(message.xid)
+        try:
+            payload_bytes, body = yield from self.handler(message)
+        finally:
+            self._in_progress.discard(message.xid)
+        reply = message.make_reply(payload_bytes=payload_bytes, **body)
+        self.calls_served += 1
+        self._remember_reply(message.xid, reply)
+        yield from self._charge(reply.size)
+        self._send(reply)
+
+    def _remember_reply(self, xid: int, reply: Message) -> None:
+        self._duplicate_cache[xid] = reply
+        while len(self._duplicate_cache) > self.DUPLICATE_CACHE_SIZE:
+            self._duplicate_cache.popitem(last=False)
+
+    # -- CPU accounting -----------------------------------------------------------
+
+    def _charge(self, size: int) -> Generator:
+        if self.cpu is not None:
+            cost = self.per_message_cpu + self.per_byte_cpu * size
+            if cost > 0:
+                yield from self.cpu.use(cost)
+        return None

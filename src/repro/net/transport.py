@@ -1,0 +1,88 @@
+"""Transport endpoints over a :class:`~repro.net.link.Link`.
+
+A :class:`DuplexTransport` binds a client endpoint and a server endpoint to
+the two directions of a link and owns the traffic accounting: every message
+that crosses it is tallied in a :class:`~repro.core.counters.MessageCounters`
+(requests, replies, retransmissions, bytes).
+
+The TCP-like mode delivers reliably and in order.  The UDP-like mode (NFS v2)
+can drop messages with a configured probability; recovery is then the RPC
+layer's retransmission timer, exactly as in Sun RPC over UDP.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.counters import MessageCounters
+from ..sim import Simulator, Store
+from .link import Link
+from .message import Message, REPLY, REQUEST
+
+__all__ = ["Endpoint", "DuplexTransport"]
+
+
+class Endpoint:
+    """One side of a transport: an inbox of delivered messages."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.inbox = Store(sim, name=name + ".inbox")
+
+
+class DuplexTransport:
+    """A reliable (or lossy) bidirectional message channel with accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        counters: Optional[MessageCounters] = None,
+        reliable: bool = True,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: str = "transport",
+    ):
+        if loss_rate and reliable:
+            raise ValueError("a reliable transport cannot drop messages")
+        self.sim = sim
+        self.link = link
+        self.counters = counters if counters is not None else MessageCounters()
+        self.reliable = reliable
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random(0)
+        self.client = Endpoint(sim, name + ".client")
+        self.server = Endpoint(sim, name + ".server")
+
+    # -- sending --------------------------------------------------------------
+
+    def send_from_client(self, message: Message) -> None:
+        """Inject ``message`` on the client->server direction."""
+        self._count(message)
+        self._deliver(message, self.link.forward, self.server)
+
+    def send_from_server(self, message: Message) -> None:
+        """Inject ``message`` on the server->client direction."""
+        self._count(message)
+        self._deliver(message, self.link.backward, self.client)
+
+    # -- internals ------------------------------------------------------------
+
+    def _count(self, message: Message) -> None:
+        if message.kind == REQUEST:
+            if message.is_retransmission:
+                self.counters.count_retransmission(message.op, message.size)
+            else:
+                self.counters.count_request(message.op, message.size)
+        elif message.kind == REPLY:
+            self.counters.count_reply(message.op, message.size)
+        else:
+            raise ValueError("unknown message kind: %r" % (message.kind,))
+
+    def _deliver(self, message: Message, channel, destination: Endpoint) -> None:
+        delay = channel.delivery_delay(message.size)
+        if not self.reliable and self.rng.random() < self.loss_rate:
+            return  # the bytes were spent; the message never arrives
+        self.sim._schedule_call(lambda: destination.inbox.put(message), delay)

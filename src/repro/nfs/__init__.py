@@ -1,0 +1,7 @@
+"""NFS protocol stack: v2/v3/v4 client and server."""
+
+from . import protocol
+from .client import NfsClient
+from .server import NfsServer, ServerState
+
+__all__ = ["NfsClient", "NfsServer", "ServerState", "protocol"]

@@ -1,0 +1,115 @@
+"""NFS protocol vocabulary shared by client and server.
+
+Op names follow the RFC procedure names (v2: RFC 1094, v3: RFC 1813,
+v4: RFC 3530).  Sizes are representative on-the-wire payload sizes used for
+byte accounting; the paper's analysis keys off message *counts*, with bytes
+as a secondary column (Table 4).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GETATTR", "SETATTR", "LOOKUP", "ACCESS", "READLINK", "READ", "WRITE",
+    "CREATE", "MKDIR", "SYMLINK", "REMOVE", "RMDIR", "RENAME", "LINK",
+    "READDIR", "COMMIT", "OPEN", "OPEN_CONFIRM", "COMPOUND", "CLOSE", "DELEGRETURN",
+    "DELEGDIR", "CB_INVALIDATE", "CB_RECALL",
+    "DELEGUPDATE", "FSSTAT",
+    "ATTR_BYTES", "FH_BYTES", "DIRENT_BYTES",
+    "NfsStatus",
+]
+
+GETATTR = "GETATTR"
+SETATTR = "SETATTR"
+LOOKUP = "LOOKUP"
+ACCESS = "ACCESS"
+READLINK = "READLINK"
+READ = "READ"
+WRITE = "WRITE"
+CREATE = "CREATE"
+MKDIR = "MKDIR"
+SYMLINK = "SYMLINK"
+REMOVE = "REMOVE"
+RMDIR = "RMDIR"
+RENAME = "RENAME"
+LINK = "LINK"
+READDIR = "READDIR"
+COMMIT = "COMMIT"
+OPEN = "OPEN"            # v4 stateful open
+OPEN_CONFIRM = "OPEN_CONFIRM"  # v4 first-open confirmation
+COMPOUND = "COMPOUND"          # v4 compound path resolution (Section 6.3)
+CLOSE = "CLOSE"          # v4 stateful close
+DELEGRETURN = "DELEGRETURN"
+DELEGDIR = "DELEGDIR"    # Section-7: acquire a directory delegation
+# Section-7 enhancement traffic:
+CB_INVALIDATE = "CB_INVALIDATE"   # server -> client meta-data cache callback
+CB_RECALL = "CB_RECALL"           # server -> client directory-delegation recall
+DELEGUPDATE = "DELEGUPDATE"       # batched delegated meta-data updates
+FSSTAT = "FSSTAT"
+
+ATTR_BYTES = 96      # fattr3-ish attribute structure
+FH_BYTES = 32        # file handle
+DIRENT_BYTES = 32    # per readdir entry
+
+
+class NfsStatus:
+    OK = "ok"
+    NOENT = "noent"
+    EXIST = "exist"
+    NOTDIR = "notdir"
+    ISDIR = "isdir"
+    NOTEMPTY = "notempty"
+    ACCES = "acces"
+    INVAL = "inval"
+    STALE = "stale"
+
+    #: map a status to the filesystem exception it round-trips to
+    @staticmethod
+    def to_exception(status: str, detail: str = ""):
+        from ..fs.errors import (
+            DirectoryNotEmpty,
+            FileExists,
+            FileNotFound,
+            FsError,
+            InvalidArgument,
+            IsADirectory,
+            NotADirectory,
+            PermissionDenied,
+        )
+
+        table = {
+            NfsStatus.NOENT: FileNotFound,
+            NfsStatus.EXIST: FileExists,
+            NfsStatus.NOTDIR: NotADirectory,
+            NfsStatus.ISDIR: IsADirectory,
+            NfsStatus.NOTEMPTY: DirectoryNotEmpty,
+            NfsStatus.ACCES: PermissionDenied,
+            NfsStatus.INVAL: InvalidArgument,
+            NfsStatus.STALE: FsError,
+        }
+        return table.get(status, FsError)(detail)
+
+    @staticmethod
+    def from_exception(error: BaseException) -> str:
+        from ..fs.errors import (
+            DirectoryNotEmpty,
+            FileExists,
+            FileNotFound,
+            InvalidArgument,
+            IsADirectory,
+            NotADirectory,
+            PermissionDenied,
+        )
+
+        table = [
+            (FileNotFound, NfsStatus.NOENT),
+            (FileExists, NfsStatus.EXIST),
+            (NotADirectory, NfsStatus.NOTDIR),
+            (IsADirectory, NfsStatus.ISDIR),
+            (DirectoryNotEmpty, NfsStatus.NOTEMPTY),
+            (PermissionDenied, NfsStatus.ACCES),
+            (InvalidArgument, NfsStatus.INVAL),
+        ]
+        for klass, status in table:
+            if isinstance(error, klass):
+                return status
+        raise error

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+Everything in the library runs on this kernel: network links, disks,
+caches, filesystems and protocol stacks are all processes and resources
+scheduled on one :class:`~repro.sim.kernel.Simulator` clock.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Resource, Store, UtilizationTracker
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "UtilizationTracker",
+]

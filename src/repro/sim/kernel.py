@@ -1,0 +1,350 @@
+"""Discrete-event simulation kernel.
+
+The kernel implements a classic event-calendar simulator with
+generator-coroutine processes, similar in spirit to SimPy but small,
+deterministic, and tailored to this project:
+
+* A :class:`Simulator` owns the virtual clock and the event calendar.
+* A :class:`Process` wraps a generator.  The generator ``yield``\\ s
+  :class:`Event` objects to block on them, and uses ``yield from`` to call
+  sub-coroutines (the return value of the inner generator propagates).
+* Every stochastic decision in the wider library goes through an explicitly
+  seeded ``random.Random``; the kernel itself is fully deterministic —
+  simultaneous events fire in scheduling order.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(2.5)
+...     return sim.now
+>>> proc = sim.spawn(hello(sim))
+>>> sim.run()
+>>> proc.value
+2.5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. running a finished simulator)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either with a value
+    (:meth:`trigger`) or with an exception (:meth:`fail`).  Processes that
+    yield a triggered event resume immediately (on the next kernel step);
+    processes that yield a pending event resume when it triggers.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.ok: Optional[bool] = None
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+        # Set to True once a failure has been delivered to at least one
+        # waiter (or defused explicitly); undelivered failures raise at the
+        # end of the run so errors never pass silently.
+        self.defused = False
+
+    # -- triggering ---------------------------------------------------------
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters receive ``exc``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self.ok = False
+        self.value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    # -- waiting ------------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)``; runs when the event is processed.
+
+        If the event has already been processed the callback is scheduled
+        for the current instant.
+        """
+        if self._callbacks is None:  # already processed
+            self.sim._schedule_call(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks:
+            callback(self)
+        if self.ok is False and not self.defused:
+            self.sim._record_failure(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return "<%s %s at t=%s>" % (type(self).__name__, state, self.sim.now)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative delay: %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        sim._schedule_event(self, delay)
+
+
+class Process(Event):
+    """A running coroutine; also an event that triggers on completion."""
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator, got %r" % (generator,))
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        sim._schedule_call(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            return
+        self.sim._schedule_call(lambda: self._resume(None, Interrupt(cause)))
+
+    # -- internal stepping ---------------------------------------------------
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except BaseException as error:
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                TypeError(
+                    "process %r yielded %r; processes must yield Event "
+                    "objects (use `yield from` for sub-coroutines)"
+                    % (self.name, target)
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            event.defused = True
+            self._resume(None, event.value)
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    The value is ``(event, value)`` for the first event to fire.  Failures
+    of the winning event propagate; failures of losers are defused.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if event.ok is False:
+                event.defused = True
+            return
+        if event.ok:
+            self.trigger((event, event.value))
+        else:
+            event.defused = True
+            self.fail(event.value)
+
+
+class AllOf(Event):
+    """Triggers when every one of ``events`` has triggered successfully.
+
+    The value is the list of child values in construction order.  The first
+    child failure fails the combinator.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.trigger([])
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if event.ok is False:
+                event.defused = True
+            return
+        if event.ok is False:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.trigger([child.value for child in self.events])
+
+
+class Simulator:
+    """The event calendar, virtual clock, and process spawner."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._calendar: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._unhandled: List[Event] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Return an event that fires when the first of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Return an event that fires when every one of ``events`` has."""
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar empties or the clock reaches ``until``."""
+        while self._calendar:
+            when, _seq, call = self._calendar[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._calendar)
+            if when > self.now:
+                self.now = when
+            call()
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        self._raise_unhandled()
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Spawn ``generator``, run to completion, and return its value.
+
+        This is the main entry point used by workloads: it drives the whole
+        simulation until the given process finishes (background processes
+        may continue afterwards via :meth:`run`).
+        """
+        proc = self.spawn(generator, name=name)
+        while self._calendar and not proc.triggered:
+            when, _seq, call = heapq.heappop(self._calendar)
+            if when > self.now:
+                self.now = when
+            call()
+        self._raise_unhandled()
+        if not proc.triggered:
+            raise SimulationError(
+                "process %r deadlocked: calendar empty at t=%s" % (proc.name, self.now)
+            )
+        if proc.ok is False:
+            proc.defused = True
+            raise proc.value
+        return proc.value
+
+    # -- internal -------------------------------------------------------------
+
+    def _schedule_call(self, call: Callable[[], None], delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._calendar, (self.now + delay, self._sequence, call))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._schedule_call(event._process, delay)
+
+    def _record_failure(self, event: Event) -> None:
+        self._unhandled.append(event)
+
+    def _raise_unhandled(self) -> None:
+        if not self._unhandled:
+            return
+        event = self._unhandled[0]
+        self._unhandled = []
+        if isinstance(event.value, BaseException):
+            raise event.value
+        raise SimulationError("unhandled event failure: %r" % (event.value,))

@@ -1,0 +1,164 @@
+"""Queued resources for the simulation kernel.
+
+Two primitives cover everything the storage stacks need:
+
+* :class:`Resource` — a counting semaphore with a FIFO wait queue.  Disks,
+  CPUs, and the NFS client's bounded async-write pool are resources.
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; used
+  for message inboxes and request queues.
+
+Both also keep the accounting the experiments need (busy time, queue
+lengths), so utilization figures fall out of the same objects that provide
+the contention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional, Tuple
+
+from .kernel import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "UtilizationTracker"]
+
+
+class UtilizationTracker:
+    """Accumulates busy time for a capacity-``n`` server.
+
+    Utilization over a window is ``busy_time / (capacity * elapsed)``, i.e.
+    the fraction of available service capacity consumed.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        self.sim = sim
+        self.capacity = capacity
+        self.busy_time = 0.0
+        self._in_service = 0
+        self._last_change = sim.now
+        self._window_start = sim.now
+
+    def acquire(self) -> None:
+        """Record one unit of capacity entering service."""
+        self._accumulate()
+        self._in_service += 1
+
+    def release(self) -> None:
+        """Record one unit of capacity leaving service."""
+        self._accumulate()
+        if self._in_service <= 0:
+            raise SimulationError("release without acquire")
+        self._in_service -= 1
+
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        self.busy_time += self._in_service * (now - self._last_change)
+        self._last_change = now
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window at the current instant."""
+        self._accumulate()
+        self.busy_time = 0.0
+        self._window_start = self.sim.now
+
+    def utilization(self) -> float:
+        """Mean utilization since the start of the current window."""
+        self._accumulate()
+        elapsed = self.sim.now - self._window_start
+        if elapsed <= 0.0:
+            return 0.0
+        return self.busy_time / (self.capacity * elapsed)
+
+
+class Resource:
+    """A counting semaphore with FIFO queueing and utilization tracking."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.available = capacity
+        self._waiters: Deque[Event] = deque()
+        self.tracker = UtilizationTracker(sim, capacity)
+        self.total_acquisitions = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """Coroutine: block until a unit of capacity is held."""
+        if self.available > 0 and not self._waiters:
+            self.available -= 1
+        else:
+            gate = self.sim.event()
+            self._waiters.append(gate)
+            yield gate
+        self.total_acquisitions += 1
+        self.tracker.acquire()
+        return None
+
+    def release(self) -> None:
+        """Return one unit of capacity; wakes the oldest waiter, if any."""
+        self.tracker.release()
+        if self._waiters:
+            self._waiters.popleft().trigger()
+        else:
+            if self.available >= self.capacity:
+                raise SimulationError(
+                    "resource %r released more than acquired" % (self.name,)
+                )
+            self.available += 1
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Coroutine: acquire, hold for ``duration``, release."""
+        yield from self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+        return None
+
+
+class Store:
+    """An unbounded FIFO with blocking ``get`` (message inbox)."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter."""
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator[Event, Any, Any]:
+        """Coroutine: return the oldest item, blocking while empty."""
+        if self._items:
+            return self._items.popleft()
+        gate = self.sim.event()
+        self._getters.append(gate)
+        item = yield gate
+        return item
+
+    def get_nowait(self) -> Optional[Any]:
+        """Return the oldest item or ``None`` without blocking."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def drain(self) -> List[Any]:
+        """Remove and return all queued items."""
+        items = list(self._items)
+        self._items.clear()
+        return items

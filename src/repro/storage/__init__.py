@@ -1,0 +1,7 @@
+"""Disk and RAID substrate."""
+
+from .blockdev import BLOCK_SIZE, BlockDevice, BlockDeviceStats
+from .disk import Disk
+from .raid import Raid5Volume
+
+__all__ = ["BLOCK_SIZE", "BlockDevice", "BlockDeviceStats", "Disk", "Raid5Volume"]

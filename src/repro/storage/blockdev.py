@@ -1,0 +1,73 @@
+"""Block-device abstraction.
+
+Everything that stores blocks — a single spindle, a RAID-5 array, or the
+iSCSI initiator's view of a remote volume — implements the same interface:
+coroutines ``read(start, count)`` and ``write(start, count)`` over fixed-size
+blocks, plus operation statistics.  The ext3 layer is therefore oblivious to
+whether its device is the server's local array (NFS setup) or a remote
+iSCSI volume (block-access setup) — precisely the symmetry of Figure 2 in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..core.params import BLOCK_SIZE
+
+__all__ = ["BlockDevice", "BlockDeviceStats", "BLOCK_SIZE"]
+
+
+class BlockDeviceStats:
+    """Operation/byte tallies common to all block devices."""
+
+    def __init__(self):
+        self.read_ops = 0
+        self.write_ops = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+
+    @property
+    def total_ops(self) -> int:
+        return self.read_ops + self.write_ops
+
+    def note_read(self, count: int) -> None:
+        """Record one read operation covering ``count`` blocks."""
+        self.read_ops += 1
+        self.blocks_read += count
+
+    def note_write(self, count: int) -> None:
+        """Record one write operation covering ``count`` blocks."""
+        self.write_ops += 1
+        self.blocks_written += count
+
+
+class BlockDevice:
+    """Interface for block storage; subclasses provide the timing."""
+
+    block_size = BLOCK_SIZE
+
+    def __init__(self, nblocks: int, name: str = "dev"):
+        if nblocks <= 0:
+            raise ValueError("nblocks must be positive")
+        self.nblocks = nblocks
+        self.name = name
+        self.stats = BlockDeviceStats()
+
+    def check_range(self, start: int, count: int) -> None:
+        """Raise ``ValueError`` unless [start, start+count) fits the device."""
+        if count <= 0:
+            raise ValueError("count must be positive, got %d" % count)
+        if start < 0 or start + count > self.nblocks:
+            raise ValueError(
+                "block range [%d, %d) outside device %r of %d blocks"
+                % (start, start + count, self.name, self.nblocks)
+            )
+
+    def read(self, start: int, count: int = 1) -> Generator:
+        """Coroutine: read ``count`` blocks starting at ``start``."""
+        raise NotImplementedError
+
+    def write(self, start: int, count: int = 1) -> Generator:
+        """Coroutine: write ``count`` blocks starting at ``start``."""
+        raise NotImplementedError

@@ -1,0 +1,24 @@
+"""Multi-client trace substrate: generation, sharing analysis, cache sim."""
+
+from .generator import (
+    CAMPUS_PROFILE,
+    EECS_PROFILE,
+    TraceEvent,
+    TraceGenerator,
+    TraceProfile,
+)
+from .metacache_sim import MetaCacheResult, simulate_metadata_cache, sweep_cache_sizes
+from .sharing import SharingPoint, analyze_sharing
+
+__all__ = [
+    "CAMPUS_PROFILE",
+    "EECS_PROFILE",
+    "MetaCacheResult",
+    "SharingPoint",
+    "TraceEvent",
+    "TraceGenerator",
+    "TraceProfile",
+    "analyze_sharing",
+    "simulate_metadata_cache",
+    "sweep_cache_sizes",
+]

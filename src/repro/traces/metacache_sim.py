@@ -1,0 +1,130 @@
+"""Section-7 simulation: the strongly-consistent read-only meta-data cache.
+
+Replays a multi-client trace against two client-side caching disciplines:
+
+* **baseline (NFS v2/v3)** — a per-client directory-attribute cache with a
+  3-second validity window: a hit inside the window is free; anything else
+  costs a meta-data message (LOOKUP/GETATTR); every update is a message;
+* **strongly consistent (the proposal)** — entries never expire; the
+  server invalidates other clients' caches on update (callback messages).
+  Reads are free after first fetch; updates still cost one message.
+
+Reported, per the paper's Section 7:
+
+* the reduction in meta-data messages (> ~70% at a directory-cache size
+  around 2**10), and
+* the *callback ratio* — invalidation messages / meta-data messages —
+  (< ~1e-3..1e-4 for the two traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+from ..cache.policies import LruDict
+from .generator import TraceEvent
+
+__all__ = ["MetaCacheResult", "simulate_metadata_cache"]
+
+
+@dataclass
+class MetaCacheResult:
+    """Message accounting for one discipline over one trace."""
+
+    events: int
+    baseline_messages: int
+    consistent_messages: int
+    callbacks: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of baseline meta-data messages eliminated."""
+        if self.baseline_messages == 0:
+            return 0.0
+        return 1.0 - self.consistent_messages / self.baseline_messages
+
+    @property
+    def callback_ratio(self) -> float:
+        """Invalidations per meta-data message (the paper's metric)."""
+        if self.consistent_messages == 0:
+            return 0.0
+        return self.callbacks / self.consistent_messages
+
+
+def simulate_metadata_cache(
+    events: Iterable[TraceEvent],
+    cache_size: int = 1024,
+    validity: float = 3.0,
+) -> MetaCacheResult:
+    """Replay ``events`` under both disciplines (see module docstring)."""
+    baseline: Dict[int, LruDict] = {}
+    consistent: Dict[int, LruDict] = {}
+    # directory -> clients holding it in their consistent cache
+    holders: Dict[int, Set[int]] = {}
+
+    baseline_messages = 0
+    consistent_messages = 0
+    callbacks = 0
+    count = 0
+
+    def client_cache(table: Dict[int, LruDict], client: int) -> LruDict:
+        cache = table.get(client)
+        if cache is None:
+            cache = LruDict(cache_size)
+            table[client] = cache
+        return cache
+
+    for event in events:
+        count += 1
+        directory = event.directory
+        client = event.client
+
+        # ---- baseline: 3 s validity, every update is a message --------
+        cache = client_cache(baseline, client)
+        if event.is_write:
+            baseline_messages += 1
+            cache.put(directory, event.time)
+        else:
+            cached_at = cache.get(directory)
+            if cached_at is None or event.time - cached_at > validity:
+                baseline_messages += 1
+                cache.put(directory, event.time)
+            # else: free hit
+
+        # ---- strongly consistent: callbacks instead of expiry ----------
+        cache = client_cache(consistent, client)
+        if event.is_write:
+            consistent_messages += 1
+            for holder in holders.get(directory, set()):
+                if holder != client:
+                    callbacks += 1
+                    other = consistent.get(holder)
+                    if other is not None:
+                        other.pop(directory)
+            holders[directory] = {client}
+            cache.put(directory, event.time)
+        else:
+            if cache.get(directory) is None:
+                consistent_messages += 1
+                evicted = cache.put(directory, event.time)
+                holders.setdefault(directory, set()).add(client)
+                if evicted is not None:
+                    holders.get(evicted[0], set()).discard(client)
+            # else: free hit, guaranteed fresh
+
+    return MetaCacheResult(
+        events=count,
+        baseline_messages=baseline_messages,
+        consistent_messages=consistent_messages,
+        callbacks=callbacks,
+    )
+
+
+def sweep_cache_sizes(
+    events: Iterable[TraceEvent],
+    sizes: Tuple[int, ...] = (16, 64, 256, 1024, 4096),
+) -> Dict[int, MetaCacheResult]:
+    """Reduction/callback-ratio as a function of the directory-cache size."""
+    events = list(events)
+    return {size: simulate_metadata_cache(events, cache_size=size) for size in sizes}

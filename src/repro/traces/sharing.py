@@ -1,0 +1,88 @@
+"""Directory-sharing analysis (Figure 7).
+
+For each time-scale ``T`` the trace is cut into intervals of length ``T``;
+within each interval every accessed directory is classified:
+
+* read by exactly one client / read by multiple clients,
+* written by exactly one client / written by multiple clients,
+* and (for the Section-7 argument) read-write shared: touched by more
+  than one client with at least one writer.
+
+The figure plots, per ``T``, the *normalized* count (averaged over
+intervals, divided by directories accessed in the interval).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .generator import TraceEvent
+
+__all__ = ["SharingPoint", "analyze_sharing"]
+
+
+@dataclass
+class SharingPoint:
+    """Normalized sharing statistics at one interval length."""
+
+    interval: float
+    read_by_one: float
+    read_by_multiple: float
+    written_by_one: float
+    written_by_multiple: float
+    read_write_shared: float     # >1 client involved, at least one writer
+
+
+def analyze_sharing(
+    events: Iterable[TraceEvent],
+    intervals: Sequence[float] = (60, 200, 400, 600, 800, 1000, 1200),
+) -> List[SharingPoint]:
+    """Compute Figure 7's curves for the given trace."""
+    events = list(events)
+    if not events:
+        raise ValueError("empty trace")
+    points = []
+    for interval in intervals:
+        # directory -> (readers, writers) per time bucket
+        buckets: Dict[int, Dict[int, tuple]] = defaultdict(dict)
+        for event in events:
+            bucket = int(event.time // interval)
+            readers, writers = buckets[bucket].get(event.directory, (set(), set()))
+            if not readers and not writers:
+                readers, writers = set(), set()
+            if event.is_write:
+                writers.add(event.client)
+            else:
+                readers.add(event.client)
+            buckets[bucket][event.directory] = (readers, writers)
+
+        totals = dict.fromkeys(
+            ("accessed", "r1", "rm", "w1", "wm", "rw"), 0
+        )
+        for per_dir in buckets.values():
+            for readers, writers in per_dir.values():
+                totals["accessed"] += 1
+                if len(readers) == 1:
+                    totals["r1"] += 1
+                elif len(readers) > 1:
+                    totals["rm"] += 1
+                if len(writers) == 1:
+                    totals["w1"] += 1
+                elif len(writers) > 1:
+                    totals["wm"] += 1
+                everyone = readers | writers
+                if len(everyone) > 1 and writers:
+                    totals["rw"] += 1
+
+        accessed = max(1, totals["accessed"])
+        points.append(SharingPoint(
+            interval=interval,
+            read_by_one=totals["r1"] / accessed,
+            read_by_multiple=totals["rm"] / accessed,
+            written_by_one=totals["w1"] / accessed,
+            written_by_multiple=totals["wm"] / accessed,
+            read_write_shared=totals["rw"] / accessed,
+        ))
+    return points

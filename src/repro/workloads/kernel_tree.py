@@ -1,0 +1,149 @@
+"""Kernel-source-tree operations (Table 8).
+
+The paper's four simple macro-benchmarks over a Linux source tree:
+
+* ``tar -xzf`` — create the whole tree (meta-data + data writes);
+* ``ls -lR``  — walk and stat every object (meta-data reads);
+* ``make``    — read sources, compute, write objects (CPU-bound);
+* ``rm -rf``  — remove everything (meta-data updates).
+
+The synthetic tree mirrors a 2.4-era kernel's shape at a configurable
+scale: nested directories, many small C files, a long-tailed size
+distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..core.comparison import StorageStack, make_stack
+from ..core.params import TestbedParams
+
+__all__ = ["TreeSpec", "KernelTreeResult", "KernelTreeOps"]
+
+
+@dataclass
+class TreeSpec:
+    """Shape of the synthetic source tree."""
+
+    top_dirs: int = 12
+    subdirs_per_dir: int = 4
+    files_per_dir: int = 25
+    mean_file_size: int = 12 * 1024
+    seed: int = 17
+
+    @property
+    def total_dirs(self) -> int:
+        return self.top_dirs * (1 + self.subdirs_per_dir)
+
+    @property
+    def total_files(self) -> int:
+        return self.total_dirs * self.files_per_dir
+
+
+@dataclass
+class KernelTreeResult:
+    """Completion times for the four operations (Table 8 rows)."""
+
+    tar_seconds: float = 0.0
+    ls_seconds: float = 0.0
+    make_seconds: float = 0.0
+    rm_seconds: float = 0.0
+    messages: Dict[str, int] = field(default_factory=dict)
+
+
+class KernelTreeOps:
+    """Run tar/ls/make/rm against one stack."""
+
+    def __init__(
+        self,
+        kind: str,
+        spec: Optional[TreeSpec] = None,
+        compile_cpu_per_file: float = 0.010,
+        params: Optional[TestbedParams] = None,
+    ):
+        self.kind = kind
+        self.spec = spec if spec is not None else TreeSpec()
+        self.compile_cpu_per_file = compile_cpu_per_file
+        self.params = params
+
+    def _paths(self) -> Tuple[List[str], List[Tuple[str, int]]]:
+        rng = random.Random(self.spec.seed)
+        dirs: List[str] = []
+        files: List[Tuple[str, int]] = []
+        for t in range(self.spec.top_dirs):
+            top = "/linux/d%02d" % t
+            dirs.append(top)
+            children = [top] + [
+                "%s/s%d" % (top, s) for s in range(self.spec.subdirs_per_dir)
+            ]
+            dirs.extend(children[1:])
+            for d in children:
+                for f in range(self.spec.files_per_dir):
+                    size = max(256, int(rng.expovariate(1.0 / self.spec.mean_file_size)))
+                    files.append(("%s/f%02d.c" % (d, f), size))
+        return dirs, files
+
+    def run_all(self) -> KernelTreeResult:
+        """tar, ls -lR, make, rm -rf — in the paper's order, one mount."""
+        stack = make_stack(self.kind, self.params)
+        client = stack.client
+        dirs, files = self._paths()
+        result = KernelTreeResult()
+
+        def timed(coro, label: str) -> float:
+            snap = stack.snapshot()
+            start = stack.now
+            stack.run(coro, name=label)
+            elapsed = stack.now - start
+            stack.quiesce()
+            result.messages[label] = stack.delta(snap).messages
+            return elapsed
+
+        def tar() -> Generator:
+            yield from client.mkdir("/linux")
+            for d in dirs:
+                yield from client.mkdir(d)
+            for path, size in files:
+                fd = yield from client.creat(path)
+                yield from client.write(fd, size)
+                yield from client.close(fd)
+            return None
+
+        def ls() -> Generator:
+            names = yield from client.readdir("/linux")
+            for d in dirs:
+                yield from client.readdir(d)
+            for path, _size in files:
+                yield from client.stat(path)
+            return None
+
+        def make() -> Generator:
+            for path, size in files:
+                fd = yield from client.open(path)
+                yield from client.read(fd, size)
+                yield from client.close(fd)
+                yield from stack.client_host.cpu.use(self.compile_cpu_per_file)
+                obj = path[:-2] + ".o"
+                fd = yield from client.creat(obj)
+                yield from client.write(fd, max(256, size // 2))
+                yield from client.close(fd)
+            return None
+
+        def rm() -> Generator:
+            for path, _size in files:
+                yield from client.unlink(path)
+                yield from client.unlink(path[:-2] + ".o")
+            for d in reversed(dirs):
+                yield from client.rmdir(d)
+            yield from client.rmdir("/linux")
+            return None
+
+        result.tar_seconds = timed(tar(), "tar")
+        stack.make_cold()   # each command ran separately in the paper
+        result.ls_seconds = timed(ls(), "ls")
+        result.make_seconds = timed(make(), "make")
+        result.rm_seconds = timed(rm(), "rm")
+        return result

@@ -1,0 +1,136 @@
+"""PostMark (Table 5): the meta-data-intensive small-file benchmark.
+
+Faithful to Katcher's benchmark as the paper used it: an initial pool of
+small random-size text files in one directory, then N transactions, each
+one of
+
+* create (write a whole new file) or delete (a random existing file), and
+* read (a whole random file) or append (a random amount to a random file),
+
+chosen with equal predisposition.  Completion time covers the transaction
+phase; message counts include the asynchronous flush tail (the packet
+capture outlives the process), which is exactly how iSCSI can finish in
+seconds yet still owe a journal commit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..core.comparison import StorageStack, make_stack
+from ..core.params import TestbedParams
+
+__all__ = ["PostmarkResult", "PostMark"]
+
+
+@dataclass
+class PostmarkResult:
+    """One row-pair of Table 5 for one stack."""
+
+    files: int
+    transactions: int
+    completion_time: float
+    messages: int
+    bytes: int
+    server_cpu: float
+    client_cpu: float
+
+
+class PostMark:
+    """The benchmark runner (one stack per run)."""
+
+    def __init__(
+        self,
+        kind: str,
+        file_count: int = 1000,
+        transactions: int = 100_000,
+        min_size: int = 512,
+        max_size: int = 9770,
+        params: Optional[TestbedParams] = None,
+        seed: int = 7,
+    ):
+        self.kind = kind
+        self.file_count = file_count
+        self.transactions = transactions
+        self.min_size = min_size
+        self.max_size = max_size
+        self.params = params
+        self.seed = seed
+
+    def run(self) -> PostmarkResult:
+        """Execute the workload; returns its result record."""
+        stack = make_stack(self.kind, self.params)
+        client = stack.client
+        rng = random.Random(self.seed)
+        live = []          # file names currently in the pool
+        next_id = [0]
+
+        def fname() -> str:
+            name = "/pm%06d" % next_id[0]
+            next_id[0] += 1
+            return name
+
+        def create_file() -> Generator:
+            name = fname()
+            size = rng.randint(self.min_size, self.max_size)
+            fd = yield from client.creat(name)
+            yield from client.write(fd, size)
+            yield from client.close(fd)
+            live.append(name)
+            return None
+
+        def setup() -> Generator:
+            for _ in range(self.file_count):
+                yield from create_file()
+            return None
+
+        def transaction() -> Generator:
+            # create-or-delete
+            if rng.random() < 0.5:
+                yield from create_file()
+            elif len(live) > 1:
+                victim = live.pop(rng.randrange(len(live)))
+                yield from client.unlink(victim)
+            # read-or-append
+            if not live:
+                return None
+            target = live[rng.randrange(len(live))]
+            if rng.random() < 0.5:
+                fd = yield from client.open(target)
+                yield from client.read(fd, self.max_size)
+                yield from client.close(fd)
+            else:
+                fd = yield from client.open(target, 1)  # O_WRONLY
+                st = yield from client.fstat(fd)
+                amount = rng.randint(self.min_size, self.max_size // 2)
+                yield from client.pwrite(fd, amount, st.size)
+                yield from client.close(fd)
+            return None
+
+        def phase() -> Generator:
+            for _ in range(self.transactions):
+                yield from transaction()
+            return None
+
+        stack.run(setup(), name="postmark-setup")
+        stack.quiesce()
+        stack.reset_cpu_windows()
+        snap = stack.snapshot()
+        start = stack.now
+        stack.run(phase(), name="postmark")
+        elapsed = stack.now - start
+        server_cpu = stack.server_host.cpu_utilization()
+        client_cpu = stack.client_host.cpu_utilization()
+        stack.quiesce()
+        delta = stack.delta(snap)
+        return PostmarkResult(
+            files=self.file_count,
+            transactions=self.transactions,
+            completion_time=elapsed,
+            messages=delta.messages,
+            bytes=delta.total_bytes,
+            server_cpu=server_cpu,
+            client_cpu=client_cpu,
+        )

@@ -1,0 +1,174 @@
+"""A TPC-C-like OLTP workload (Table 6).
+
+The paper ran IBM DB2 with 300 warehouses and 30 clients and reported
+normalized tpmC.  What the storage stacks see from such a database is
+well-characterized (and is all that matters here): small (4 KB) page I/Os
+to a handful of large table/index files, two-thirds reads, uniformly
+scattered, plus sequential write-ahead-log appends and periodic log
+forces, with the *client* CPU saturated by SQL processing.
+
+We reproduce that I/O and CPU profile: a buffer-pool-less page layer over
+the stack's syscall interface, a transaction mix doing ~10 page reads and
+~5 page writes plus a log force, and per-transaction CPU work sized to
+saturate the 1 GHz client, so throughput differences between stacks come
+from their I/O path efficiency — as in the paper, where iSCSI edged NFS
+by 8%.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Generator, List, Optional
+
+from ..core.comparison import StorageStack, make_stack
+from ..core.params import CacheParams, TestbedParams
+
+__all__ = ["OltpResult", "TpccWorkload"]
+
+PAGE = 4096
+
+
+@dataclass
+class OltpResult:
+    transactions: int
+    elapsed: float
+    throughput: float          # transactions per minute (tpmC-like)
+    messages: int
+    bytes: int
+    server_cpu: float
+    client_cpu: float
+
+
+class TpccWorkload:
+    """The OLTP driver (one stack per run)."""
+
+    def __init__(
+        self,
+        kind: str,
+        transactions: int = 2000,
+        table_mb: int = 96,
+        ntables: int = 8,
+        reads_per_txn: int = 10,
+        writes_per_txn: int = 5,
+        cpu_per_txn: float = 0.010,
+        workers: int = 10,
+        mincommit: int = 4,
+        params: Optional[TestbedParams] = None,
+        seed: int = 11,
+    ):
+        self.kind = kind
+        self.transactions = transactions
+        self.workers = workers
+        self.table_bytes = table_mb * 1024 * 1024
+        self.ntables = ntables
+        self.reads_per_txn = reads_per_txn
+        self.writes_per_txn = writes_per_txn
+        self.cpu_per_txn = cpu_per_txn
+        self.mincommit = mincommit
+        if params is None:
+            # The paper's 300-warehouse database is ~20x the testbed's
+            # combined RAM.  The scaled database must keep that regime, so
+            # the default testbed shrinks both caches accordingly.
+            params = TestbedParams(
+                cache=CacheParams(
+                    client_cache_bytes=32 * 1024 * 1024,
+                    server_cache_bytes=48 * 1024 * 1024,
+                )
+            )
+        self.params = params
+        self.seed = seed
+
+    def run(self) -> OltpResult:
+        """Execute the workload; returns its result record."""
+        stack = make_stack(self.kind, self.params)
+        client = stack.client
+        rng = random.Random(self.seed)
+        pages_per_table = self.table_bytes // PAGE
+        fds: List[int] = []
+        log_offset = [0]
+
+        def setup() -> Generator:
+            # Database tables are preallocated once (DB2 extends its
+            # tablespaces at load time); the load phase is not measured.
+            for t in range(self.ntables):
+                fd = yield from client.creat("/table%02d" % t)
+                written = 0
+                while written < self.table_bytes:
+                    chunk = min(128 * 1024, self.table_bytes - written)
+                    yield from client.write(fd, chunk)
+                    written += chunk
+                yield from client.close(fd)
+            return None
+
+        def reopen() -> Generator:
+            for t in range(self.ntables):
+                fd = yield from client.open("/table%02d" % t)
+                fds.append(fd)
+            fd = yield from client.creat("/db2log")
+            fds.append(fd)
+            return None
+
+        txn_counter = [0]
+
+        def transaction() -> Generator:
+            yield from stack.client_host.cpu.use(self.cpu_per_txn)
+            for _ in range(self.reads_per_txn):
+                fd = fds[rng.randrange(self.ntables)]
+                page = rng.randrange(pages_per_table)
+                yield from client.pread(fd, PAGE, page * PAGE)
+            for _ in range(self.writes_per_txn):
+                fd = fds[rng.randrange(self.ntables)]
+                page = rng.randrange(pages_per_table)
+                yield from client.pwrite(fd, PAGE, page * PAGE)
+            # WAL append; group commit forces the log every `mincommit`
+            # transactions (DB2's MINCOMMIT tuning, standard for TPC-C).
+            log_fd = fds[-1]
+            yield from client.pwrite(log_fd, PAGE, log_offset[0])
+            log_offset[0] += PAGE
+            txn_counter[0] += 1
+            if txn_counter[0] % self.mincommit == 0:
+                yield from client.fsync(log_fd)
+            return None
+
+        def worker(count: int) -> Generator:
+            for _ in range(count):
+                yield from transaction()
+            return None
+
+        def phase() -> Generator:
+            # The paper drove 30 concurrent terminals; concurrency is what
+            # lets the client overlap SQL CPU with outstanding page I/O.
+            share = self.transactions // self.workers
+            jobs = [
+                stack.sim.spawn(worker(share), name="tpcc-w%d" % i)
+                for i in range(self.workers)
+            ]
+            yield stack.sim.all_of(jobs)
+            return None
+
+        stack.run(setup(), name="tpcc-setup")
+        stack.quiesce()
+        # The paper's 300-warehouse database dwarfs both machines' RAM;
+        # starting cold keeps the scaled-down database from fitting in
+        # either cache and preserving that regime.
+        stack.make_cold()
+        stack.run(reopen(), name="tpcc-open")
+        stack.reset_cpu_windows()
+        snap = stack.snapshot()
+        start = stack.now
+        stack.run(phase(), name="tpcc")
+        elapsed = stack.now - start
+        server_cpu = stack.server_host.cpu_utilization()
+        client_cpu = stack.client_host.cpu_utilization()
+        stack.quiesce()
+        delta = stack.delta(snap)
+        return OltpResult(
+            transactions=self.transactions,
+            elapsed=elapsed,
+            throughput=self.transactions / elapsed * 60.0,
+            messages=delta.messages,
+            bytes=delta.total_bytes,
+            server_cpu=server_cpu,
+            client_cpu=client_cpu,
+        )

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import make_stack
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run(sim, generator, name="test"):
+    """Drive a coroutine to completion on ``sim`` and return its value."""
+    return sim.run_process(generator, name=name)
+
+
+@pytest.fixture(params=["nfsv2", "nfsv3", "nfsv4", "iscsi", "nfs-enhanced"])
+def any_stack(request):
+    """A mounted stack of every kind (parametrized)."""
+    return make_stack(request.param)
+
+
+@pytest.fixture
+def nfs_stack():
+    return make_stack("nfsv3")
+
+
+@pytest.fixture
+def iscsi_stack():
+    return make_stack("iscsi")

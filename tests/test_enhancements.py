@@ -1,0 +1,147 @@
+"""Tests for the Section-7 NFS enhancements (the paper's proposal)."""
+
+import pytest
+
+from repro.core import make_stack
+from repro.nfs import protocol as p
+from repro.workloads import PostMark
+
+
+@pytest.fixture
+def enhanced():
+    return make_stack("nfs-enhanced")
+
+
+def test_delegation_acquired_on_first_mutation(enhanced):
+    c = enhanced.client
+
+    def work():
+        yield from c.mkdir("/d")
+
+    enhanced.run(work())
+    assert enhanced.counters.by_op.get(p.DELEGDIR, 0) == 1
+    assert enhanced.server.state.delegations_granted >= 1
+
+
+def test_delegated_creates_are_local(enhanced):
+    c = enhanced.client
+
+    def setup():
+        yield from c.mkdir("/d")   # acquires the delegation
+
+    enhanced.run(setup())
+    snap = enhanced.snapshot()
+
+    def burst():
+        for i in range(20):
+            fd = yield from c.creat("/d/f%d" % i)
+            yield from c.close(fd)
+
+    enhanced.run(burst())
+    # No per-create round trips — everything is a local record.
+    assert enhanced.delta(snap).messages == 0
+
+
+def test_deleg_flush_replays_batch(enhanced):
+    c = enhanced.client
+
+    def work():
+        yield from c.mkdir("/d")
+        for i in range(10):
+            fd = yield from c.creat("/d/f%d" % i)
+            yield from c.close(fd)
+
+    enhanced.run(work())
+    enhanced.quiesce()
+    assert enhanced.counters.by_op.get(p.DELEGUPDATE, 0) >= 1
+    # The server now holds all ten files under their reserved inos.
+    root = enhanced.fs.inodes[1]
+    d_ino = root.entries["d"]
+    assert len(enhanced.fs.inodes[d_ino].entries) == 10
+
+
+def test_create_delete_pairs_cancel(enhanced):
+    """The ext3-absorption effect: short-lived files cost nothing."""
+    c = enhanced.client
+
+    def setup():
+        yield from c.mkdir("/d")
+
+    enhanced.run(setup())
+    enhanced.quiesce()
+    snap = enhanced.snapshot()
+
+    def churn():
+        for i in range(25):
+            fd = yield from c.creat("/d/tmp%d" % i)
+            yield from c.write(fd, 8192)
+            yield from c.close(fd)
+            yield from c.unlink("/d/tmp%d" % i)
+
+    enhanced.run(churn())
+    enhanced.quiesce()
+    delta = enhanced.delta(snap)
+    assert delta.messages <= 3   # at most a stray batch/grant, no data
+
+
+def test_namespace_correct_after_replay(enhanced):
+    c = enhanced.client
+
+    def work():
+        yield from c.mkdir("/d")
+        fd = yield from c.creat("/d/keep")
+        yield from c.write(fd, 5000)
+        yield from c.close(fd)
+        fd = yield from c.creat("/d/doomed")
+        yield from c.close(fd)
+        yield from c.unlink("/d/doomed")
+        names = yield from c.readdir("/d")
+        st = yield from c.stat("/d/keep")
+        return names, st.size
+
+    names, size = enhanced.run(work())
+    enhanced.quiesce()
+    assert names == ["keep"]
+    assert size == 5000
+
+
+def test_consistent_cache_skips_revalidation(enhanced):
+    c = enhanced.client
+
+    def setup():
+        fd = yield from c.creat("/f")
+        yield from c.close(fd)
+        yield from c.stat("/f")
+
+    enhanced.run(setup())
+    enhanced.quiesce()   # settle the delegation replay first
+    snap = enhanced.snapshot()
+
+    def later():
+        yield enhanced.sim.timeout(30.0)   # far past any validity window
+        yield from c.stat("/f")
+
+    enhanced.run(later())
+    assert enhanced.delta(snap).messages == 0
+
+
+def test_server_callback_invalidates_other_client():
+    """Multi-peer behavior is exercised through the server registry."""
+    stack = make_stack("nfs-enhanced")
+    state = stack.server.state
+    state.cache_registry[99] = {"clientA", "clientB"}
+
+    def invalidate():
+        yield from stack.server._invalidate(99, mutating_client="clientA")
+
+    # clientB must be called back; clientA (the mutator) must not.
+    stack.run(invalidate())
+    assert state.callbacks_sent == 1
+
+
+def test_enhanced_beats_plain_nfs_on_postmark():
+    """The paper's bottom line for Section 7."""
+    plain = PostMark("nfsv3", file_count=150, transactions=1000).run()
+    enhanced = PostMark("nfs-enhanced", file_count=150, transactions=1000).run()
+    assert enhanced.completion_time < plain.completion_time / 3
+    assert enhanced.messages < plain.messages / 2

@@ -1,0 +1,171 @@
+"""Failure injection: lossy transport, timeouts, races with removal."""
+
+import random
+
+import pytest
+
+from repro.core import make_stack
+from repro.core.counters import MessageCounters
+from repro.fs import FileNotFound
+from repro.net import (
+    DuplexTransport,
+    Link,
+    Message,
+    RetransmitPolicy,
+    RpcPeer,
+    RpcTimeoutError,
+)
+from repro.sim import Simulator
+
+
+def _lossy_rpc_pair(sim, loss_rate, seed=1, timeout=0.02, retries=8):
+    link = Link(sim, rtt=0.002)
+    transport = DuplexTransport(
+        sim, link, counters=MessageCounters(), reliable=False,
+        loss_rate=loss_rate, rng=random.Random(seed),
+    )
+    client = RpcPeer(
+        sim, transport.client, transport.send_from_client,
+        retransmit=RetransmitPolicy(timeout=timeout, max_retries=retries),
+        name="client",
+    )
+    server = RpcPeer(sim, transport.server, transport.send_from_server,
+                     name="server")
+
+    def handler(message):
+        return 32, {"status": "ok", "seq": message.body.get("seq")}
+        yield  # pragma: no cover
+
+    server.set_handler(handler)
+    return transport, client, server
+
+
+def test_udp_loss_recovered_by_retransmission(sim):
+    """NFS v2's regime: a lossy datagram transport under an RPC timer."""
+    transport, client, server = _lossy_rpc_pair(sim, loss_rate=0.3)
+
+    def calls():
+        answers = []
+        for seq in range(30):
+            reply = yield from client.call("PING", seq=seq)
+            answers.append(reply.body["seq"])
+        return answers
+
+    answers = sim.run_process(calls())
+    assert answers == list(range(30))
+    assert transport.counters.retransmissions > 0
+
+
+def test_total_loss_exhausts_retries(sim):
+    transport, client, _server = _lossy_rpc_pair(
+        sim, loss_rate=1.0, retries=2,
+    )
+
+    def call():
+        yield from client.call("VOID")
+
+    with pytest.raises(RpcTimeoutError):
+        sim.run_process(call())
+    # initial send + (max_retries + 1) timer-driven resends, all counted
+    assert transport.counters.requests == 4
+
+
+def test_duplicate_replies_are_dropped(sim):
+    """A late original reply after a same-xid retransmission must not
+    confuse the pending-call table."""
+    transport, client, server = _lossy_rpc_pair(
+        sim, loss_rate=0.0, timeout=0.001,
+    )
+
+    def slow_handler(message):
+        yield server.sim.timeout(0.01)    # slower than many timeouts
+        return 8, {"status": "ok"}
+
+    server.set_handler(slow_handler)
+
+    def call():
+        reply = yield from client.call("SLOW")
+        return reply.body["status"]
+
+    assert sim.run_process(call()) == "ok"
+    sim.run()   # drain any stragglers; must not raise
+
+
+def test_nfs_write_racing_unlink_is_harmless():
+    """Async write-back may still be in flight when the file is removed;
+    the client must absorb the server's ENOENT quietly."""
+    stack = make_stack("nfsv3")
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/victim")
+        yield from c.write(fd, 16 * 4096)
+        # no close (which would force the flush): delete immediately
+        yield from c.unlink("/victim")
+
+    stack.run(work())
+    stack.quiesce()   # must not raise
+
+
+def test_commit_racing_unlink_is_harmless():
+    stack = make_stack("nfsv3")
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/victim")
+        yield from c.write(fd, 4 * 4096)
+        yield from c.close(fd)
+        yield from c.unlink("/victim")
+
+    stack.run(work())
+    stack.quiesce()
+
+
+def test_stale_fd_operations_fail_cleanly():
+    stack = make_stack("nfsv3")
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/f")
+        yield from c.close(fd)
+        yield from c.unlink("/f")
+        try:
+            yield from c.stat("/f")
+        except FileNotFound:
+            return "gone"
+        return "still there"
+
+    assert stack.run(work()) == "gone"
+
+
+def test_high_rtt_with_retransmission_still_correct():
+    """At 200 ms RTT the v3 client's 1.1 s timer may fire under load;
+    results must stay correct regardless."""
+    stack = make_stack("nfsv3")
+    stack.set_rtt(0.200)
+    c = stack.client
+
+    def work():
+        yield from c.mkdir("/d")
+        fd = yield from c.creat("/d/f")
+        yield from c.write(fd, 64 * 4096)
+        yield from c.close(fd)
+        st = yield from c.stat("/d/f")
+        return st.size
+
+    assert stack.run(work()) == 64 * 4096
+    stack.quiesce()
+
+
+def test_retransmissions_counted_separately(sim):
+    transport, client, server = _lossy_rpc_pair(sim, loss_rate=0.3, seed=7,
+                                                retries=14)
+
+    def calls():
+        for seq in range(10):
+            yield from client.call("PING", seq=seq)
+
+    sim.run_process(calls())
+    counters = transport.counters
+    assert counters.requests >= 10
+    assert counters.retransmissions == counters.requests - 10

@@ -1,0 +1,161 @@
+"""Unit and property tests for the disk layout and allocators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import DiskLayout, ExtentAllocator, IdAllocator, NoSpace
+
+
+# ---------------------------------------------------------------- layout
+
+def test_layout_regions_do_not_overlap():
+    layout = DiskLayout(total_blocks=1_000_000)
+    boundaries = [
+        layout.superblock,
+        layout.group_desc,
+        layout.inode_bitmap_start,
+        layout.block_bitmap_start,
+        layout.inode_table_start,
+        layout.journal_start,
+        layout.data_start,
+    ]
+    assert boundaries == sorted(boundaries)
+    assert len(set(boundaries)) == len(boundaries)
+    assert layout.data_start < layout.total_blocks
+
+
+def test_layout_inode_table_mapping():
+    layout = DiskLayout(total_blocks=1_000_000)
+    per_block = layout.params.inodes_per_block
+    assert layout.inode_table_block(1) == layout.inode_table_start
+    assert layout.inode_table_block(per_block) == layout.inode_table_start
+    assert layout.inode_table_block(per_block + 1) == layout.inode_table_start + 1
+
+
+def test_layout_rejects_bad_inodes():
+    layout = DiskLayout(total_blocks=1_000_000)
+    with pytest.raises(ValueError):
+        layout.inode_table_block(0)
+    with pytest.raises(ValueError):
+        layout.inode_table_block(layout.max_inodes + 1)
+
+
+def test_layout_journal_wraps():
+    layout = DiskLayout(total_blocks=1_000_000, journal_blocks=100)
+    assert layout.journal_block(0) == layout.journal_start
+    assert layout.journal_block(100) == layout.journal_start
+    assert layout.journal_block(105) == layout.journal_start + 5
+
+
+def test_layout_too_small_rejected():
+    with pytest.raises(ValueError):
+        DiskLayout(total_blocks=100)
+
+
+# ---------------------------------------------------------------- IdAllocator
+
+def test_id_allocator_sequential():
+    alloc = IdAllocator(10)
+    assert [alloc.allocate() for _ in range(3)] == [1, 2, 3]
+
+
+def test_id_allocator_reuses_freed():
+    alloc = IdAllocator(10)
+    first = alloc.allocate()
+    alloc.allocate()
+    alloc.free(first)
+    assert alloc.allocate() == first
+
+
+def test_id_allocator_goal():
+    alloc = IdAllocator(1000)
+    assert alloc.allocate(goal=500) == 500
+    assert alloc.allocate(goal=500) == 501
+
+
+def test_id_allocator_exhaustion():
+    alloc = IdAllocator(2)
+    alloc.allocate()
+    alloc.allocate()
+    with pytest.raises(NoSpace):
+        alloc.allocate()
+
+
+def test_id_allocator_reserve_range():
+    alloc = IdAllocator(1000)
+    reserved = alloc.reserve_range(10)
+    assert len(reserved) == 10
+    fresh = alloc.allocate()
+    assert fresh not in reserved
+
+
+def test_id_allocator_specific():
+    alloc = IdAllocator(100)
+    alloc.allocate_specific(42)
+    with pytest.raises(ValueError):
+        alloc.allocate_specific(42)
+
+
+def test_id_allocator_double_free_rejected():
+    alloc = IdAllocator(10)
+    ident = alloc.allocate()
+    alloc.free(ident)
+    with pytest.raises(ValueError):
+        alloc.free(ident)
+
+
+# ---------------------------------------------------------------- ExtentAllocator
+
+def test_extent_goal_gives_contiguity():
+    alloc = ExtentAllocator(start=100, capacity=1000)
+    first = alloc.allocate()
+    second = alloc.allocate(goal=first + 1)
+    assert second == first + 1
+
+
+def test_extent_run_contiguous():
+    alloc = ExtentAllocator(start=0, capacity=1000)
+    run = alloc.allocate_run(10)
+    assert run == list(range(run[0], run[0] + 10))
+
+
+def test_extent_free_and_reuse():
+    alloc = ExtentAllocator(start=0, capacity=10)
+    blocks = [alloc.allocate() for _ in range(10)]
+    with pytest.raises(NoSpace):
+        alloc.allocate()
+    alloc.free(blocks[3])
+    assert alloc.allocate() == blocks[3]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["alloc", "free"]), max_size=100),
+       st.integers(min_value=1, max_value=64))
+def test_extent_allocator_never_double_allocates(ops, capacity):
+    alloc = ExtentAllocator(start=10, capacity=capacity)
+    live = []
+    for op in ops:
+        if op == "alloc":
+            try:
+                block = alloc.allocate()
+            except NoSpace:
+                assert len(live) == capacity
+                continue
+            assert block not in live
+            assert 10 <= block < 10 + capacity
+            live.append(block)
+        elif live:
+            alloc.free(live.pop())
+    assert alloc.used == len(live)
+
+
+@settings(max_examples=50, deadline=None)
+@given(goals=st.lists(st.integers(min_value=0, max_value=99), min_size=1,
+                      max_size=80))
+def test_id_allocator_goal_never_collides(goals):
+    alloc = IdAllocator(200)
+    seen = set()
+    for goal in goals:
+        ident = alloc.allocate(goal=goal + 1)
+        assert ident not in seen
+        seen.add(ident)

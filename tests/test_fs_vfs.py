@@ -1,0 +1,210 @@
+"""Unit tests for the VFS path layer (and property tests on namespaces)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import (
+    Ext3Fs,
+    FileNotFound,
+    InvalidArgument,
+    NotADirectory,
+    Vfs,
+)
+from repro.sim import Simulator
+from repro.storage import Raid5Volume
+
+
+@pytest.fixture
+def vfs(sim):
+    raid = Raid5Volume(sim)
+    fs = Ext3Fs(sim, raid, cache_bytes=64 * 1024 * 1024)
+    sim.run_process(fs.mount())
+    return Vfs(fs)
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+def test_nested_paths(sim, vfs):
+    def work():
+        yield from vfs.mkdir("/a")
+        yield from vfs.mkdir("/a/b")
+        yield from vfs.mkdir("/a/b/c")
+        names = yield from vfs.readdir("/a/b")
+        return names
+
+    assert run(sim, work()) == ["c"]
+
+
+def test_relative_paths_via_chdir(sim, vfs):
+    def work():
+        yield from vfs.mkdir("/a")
+        yield from vfs.chdir("/a")
+        yield from vfs.mkdir("rel")
+        names = yield from vfs.readdir("/a")
+        return names
+
+    assert run(sim, work()) == ["rel"]
+
+
+def test_chdir_to_file_rejected(sim, vfs):
+    def work():
+        fd = yield from vfs.creat("/f")
+        yield from vfs.close(fd)
+        yield from vfs.chdir("/f")
+
+    with pytest.raises(NotADirectory):
+        run(sim, work())
+
+
+def test_symlink_following(sim, vfs):
+    def work():
+        yield from vfs.mkdir("/real")
+        fd = yield from vfs.creat("/real/file")
+        yield from vfs.close(fd)
+        yield from vfs.symlink("/real", "/alias")
+        st = yield from vfs.stat("/alias/file")
+        return st.itype
+
+    assert run(sim, work()) == "file"
+
+
+def test_symlink_loop_detected(sim, vfs):
+    def work():
+        yield from vfs.symlink("/b", "/a")
+        yield from vfs.symlink("/a", "/b")
+        yield from vfs.stat("/a")
+
+    with pytest.raises(InvalidArgument):
+        run(sim, work())
+
+
+def test_readlink_does_not_follow(sim, vfs):
+    def work():
+        yield from vfs.symlink("/somewhere", "/sl")
+        value = yield from vfs.readlink("/sl")
+        return value
+
+    assert run(sim, work()) == "/somewhere"
+
+
+def test_open_o_creat_and_o_trunc(sim, vfs):
+    from repro.fs.vfs import O_CREAT, O_TRUNC, O_WRONLY
+
+    def work():
+        fd = yield from vfs.open("/f", O_WRONLY | O_CREAT)
+        yield from vfs.write(fd, 8192)
+        yield from vfs.close(fd)
+        fd = yield from vfs.open("/f", O_WRONLY | O_CREAT | O_TRUNC)
+        st = yield from vfs.fstat(fd)
+        yield from vfs.close(fd)
+        return st.size
+
+    assert run(sim, work()) == 0
+
+
+def test_open_missing_without_creat(sim, vfs):
+    def work():
+        yield from vfs.open("/ghost")
+
+    with pytest.raises(FileNotFound):
+        run(sim, work())
+
+
+def test_fd_lifecycle(sim, vfs):
+    def work():
+        fd = yield from vfs.creat("/f")
+        yield from vfs.close(fd)
+        yield from vfs.write(fd, 10)
+
+    with pytest.raises(InvalidArgument):
+        run(sim, work())
+
+
+def test_read_write_offsets_advance(sim, vfs):
+    def work():
+        fd = yield from vfs.creat("/f")
+        yield from vfs.write(fd, 5000)
+        yield from vfs.write(fd, 5000)
+        st = yield from vfs.fstat(fd)
+        vfs.lseek(fd, 0)
+        first = yield from vfs.read(fd, 6000)
+        second = yield from vfs.read(fd, 6000)
+        return st.size, first, second
+
+    assert run(sim, work()) == (10_000, 6000, 4000)
+
+
+def test_utime_changes_times(sim, vfs):
+    def work():
+        fd = yield from vfs.creat("/f")
+        yield from vfs.close(fd)
+        yield vfs.fs.sim.timeout(10)
+        yield from vfs.utime("/f")
+        st = yield from vfs.stat("/f")
+        return st.mtime
+
+    assert run(sim, work()) >= 10
+
+
+def test_chmod_chown_access(sim, vfs):
+    def work():
+        fd = yield from vfs.creat("/f")
+        yield from vfs.close(fd)
+        yield from vfs.chmod("/f", 0o640)
+        yield from vfs.chown("/f", 7, 7)
+        st = yield from vfs.stat("/f")
+        ok = yield from vfs.access("/f")
+        return st.mode, st.uid, ok
+
+    assert run(sim, work()) == (0o640, 7, True)
+
+
+_name = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["mkdir", "creat", "unlink", "rmdir"]),
+                              _name), max_size=30))
+def test_namespace_model_equivalence(ops):
+    """The simulated FS namespace always matches a plain dict model."""
+    sim = Simulator()
+    raid = Raid5Volume(sim)
+    fs = Ext3Fs(sim, raid, cache_bytes=64 * 1024 * 1024)
+    sim.run_process(fs.mount())
+    vfs = Vfs(fs)
+    model = {}   # name -> "dir" | "file"
+
+    def apply(op, name):
+        path = "/" + name
+        if op == "mkdir":
+            if name in model:
+                return
+            yield from vfs.mkdir(path)
+            model[name] = "dir"
+        elif op == "creat":
+            if model.get(name) == "dir":
+                return
+            fd = yield from vfs.creat(path)
+            yield from vfs.close(fd)
+            model[name] = "file"
+        elif op == "unlink":
+            if model.get(name) != "file":
+                return
+            yield from vfs.unlink(path)
+            del model[name]
+        elif op == "rmdir":
+            if model.get(name) != "dir":
+                return
+            yield from vfs.rmdir(path)
+            del model[name]
+
+    def work():
+        for op, name in ops:
+            yield from apply(op, name)
+        names = yield from vfs.readdir("/")
+        return names
+
+    names = sim.run_process(work())
+    assert sorted(names) == sorted(model)

@@ -1,0 +1,183 @@
+"""Unit and property tests for the jbd-style journal."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import BlockCache
+from repro.core.params import DiskParams, Ext3Params
+from repro.fs import DiskLayout, Journal
+from repro.sim import Simulator
+from repro.storage import Disk
+
+
+def _setup(sim, commit_interval=5.0, journal_blocks=64):
+    disk = Disk(sim, DiskParams(write_back_cache=False))
+    layout = DiskLayout(disk.nblocks, journal_blocks=journal_blocks)
+    cache = BlockCache(sim, disk, capacity_bytes=8 * 1024 * 1024,
+                       start_flusher=False)
+    params = Ext3Params(journal_commit_interval=commit_interval)
+    journal = Journal(sim, cache, layout, params)
+    return disk, layout, cache, journal
+
+
+def test_empty_commit_is_free(sim):
+    disk, _layout, _cache, journal = _setup(sim)
+    sim.run_process(journal.commit())
+    assert disk.stats.write_ops == 0
+    assert journal.commits == 0
+
+
+def test_commit_writes_blocks_plus_commit_record(sim):
+    disk, layout, _cache, journal = _setup(sim)
+    journal.add_metadata(layout.data_start + 5)
+
+    def work():
+        yield from journal.commit()
+
+    sim.run_process(work())
+    # one sequential body write + one commit-record barrier write
+    assert disk.stats.write_ops == 2
+    assert journal.commits == 1
+
+
+def test_journal_writes_land_in_journal_area(sim):
+    disk, layout, cache, journal = _setup(sim)
+    journal.add_metadata(layout.data_start + 10)
+
+    def work():
+        yield from journal.commit()
+
+    sim.run_process(work())
+    # The journaled block itself must NOT have been written in place.
+    for block in range(layout.data_start, layout.data_start + 64):
+        assert not cache.is_dirty(block)
+
+
+def test_update_aggregation_same_block_once(sim):
+    disk, layout, _cache, journal = _setup(sim)
+    for _ in range(100):
+        journal.add_metadata(layout.data_start)   # same block, 100 updates
+
+    def work():
+        yield from journal.commit()
+
+    sim.run_process(work())
+    assert journal.blocks_journaled == 1
+
+
+def test_commit_marks_cache_clean(sim):
+    disk, layout, cache, journal = _setup(sim)
+    block = layout.data_start + 3
+
+    def work():
+        yield from cache.write(block)
+        journal.add_metadata(block)
+        yield from journal.commit()
+        yield from cache.sync()   # must be a no-op for the journaled block
+
+    sim.run_process(work())
+    writes_to_data = disk.stats.write_ops
+    # 2 journal writes only; the in-place copy awaits a checkpoint.
+    assert writes_to_data == 2
+
+
+def test_checkpoint_writes_in_place_once(sim):
+    disk, layout, cache, journal = _setup(sim)
+    blocks = [layout.data_start + i for i in (0, 1, 2, 10)]
+
+    def work():
+        for block in blocks:
+            yield from cache.write(block)
+            journal.add_metadata(block)
+        yield from journal.commit()
+        before = disk.stats.write_ops
+        yield from journal.checkpoint()
+        return before
+
+    before = sim.run_process(work())
+    # contiguous run [0..2] coalesces; block 10 stands alone
+    assert disk.stats.write_ops - before == 2
+    # a second checkpoint has nothing to do
+    sim.run_process(journal.checkpoint())
+    assert disk.stats.write_ops - before == 2
+
+
+def test_forget_data_cancels_everything(sim):
+    disk, layout, cache, journal = _setup(sim)
+    block = layout.data_start + 7
+
+    def work():
+        yield from cache.write(block)
+        journal.add_metadata(block)
+        journal.add_ordered_data(block + 1)
+        journal.forget_data([block, block + 1])
+        yield from journal.commit()
+        yield from journal.checkpoint()
+
+    sim.run_process(work())
+    assert disk.stats.write_ops == 0
+
+
+def test_ordered_data_flushed_before_commit_returns(sim):
+    disk, layout, cache, journal = _setup(sim)
+    data_block = layout.data_start + 100
+
+    def work():
+        yield from cache.write(data_block)
+        journal.add_ordered_data(data_block)
+        journal.add_metadata(layout.data_start)
+        yield from journal.commit()
+
+    sim.run_process(work())
+    assert not cache.is_dirty(data_block)
+    assert disk.stats.write_ops >= 3   # data + journal body + commit record
+
+
+def test_periodic_commit_fires_on_interval(sim):
+    disk, layout, _cache, journal = _setup(sim, commit_interval=1.0)
+    journal.add_metadata(layout.data_start)
+    sim.run(until=1.5)
+    assert journal.commits == 1
+
+
+def test_checkpoint_triggered_by_journal_pressure(sim):
+    # Journal of 64 blocks: pressure threshold is ~21 pending blocks.
+    disk, layout, cache, journal = _setup(sim, journal_blocks=64)
+
+    def work():
+        for i in range(40):
+            block = layout.data_start + i * 2   # non-contiguous
+            yield from cache.write(block)
+            journal.add_metadata(block)
+            if i % 10 == 9:
+                yield from journal.commit()
+
+    sim.run_process(work())
+    assert journal.checkpoints >= 1
+
+
+def test_journal_area_wraps(sim):
+    disk, layout, _cache, journal = _setup(sim, journal_blocks=8)
+
+    def work():
+        for round_number in range(5):
+            journal.add_metadata(layout.data_start + round_number)
+            yield from journal.commit()
+
+    sim.run_process(work())   # head passes the wrap point without error
+    assert journal.commits == 5
+
+
+@settings(max_examples=25, deadline=None)
+@given(updates=st.lists(st.integers(min_value=0, max_value=30),
+                        min_size=1, max_size=120))
+def test_journaled_block_count_is_unique_count(updates):
+    """However many times blocks join a transaction, the commit journals
+    each distinct block exactly once."""
+    sim = Simulator()
+    _disk, layout, _cache, journal = _setup(sim)
+    for offset in updates:
+        journal.add_metadata(layout.data_start + offset)
+
+    sim.run_process(journal.commit())
+    assert journal.blocks_journaled == len(set(updates))

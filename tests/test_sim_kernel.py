@@ -1,0 +1,223 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    def proc():
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(proc()) == 2.5
+
+
+def test_timeouts_fire_in_order(sim):
+    fired = []
+
+    def waiter(delay):
+        yield sim.timeout(delay)
+        fired.append(delay)
+
+    for delay in (3.0, 1.0, 2.0):
+        sim.spawn(waiter(delay))
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_simultaneous_events_fifo(sim):
+    """Ties break by scheduling order — determinism matters for repro."""
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value(sim):
+    def inner():
+        yield sim.timeout(1)
+        return 42
+
+    def outer():
+        value = yield from inner()
+        return value + 1
+
+    assert sim.run_process(outer()) == 43
+
+
+def test_event_trigger_wakes_waiter(sim):
+    gate = sim.event()
+
+    def waiter():
+        value = yield gate
+        return value
+
+    def trigger():
+        yield sim.timeout(5)
+        gate.trigger("hello")
+
+    proc = sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert proc.value == "hello"
+    assert sim.now == 5
+
+
+def test_event_double_trigger_rejected(sim):
+    gate = sim.event()
+    gate.trigger()
+    with pytest.raises(SimulationError):
+        gate.trigger()
+
+
+def test_event_failure_propagates(sim):
+    gate = sim.event()
+
+    def waiter():
+        yield gate
+
+    proc = sim.spawn(waiter())
+    gate.fail(ValueError("boom"))
+    with pytest.raises(ValueError):
+        sim.run()
+    assert proc.ok is False
+
+
+def test_unhandled_failure_raises(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("unseen")
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_process_exception_caught_by_parent(sim):
+    def child():
+        yield sim.timeout(1)
+        raise KeyError("inner")
+
+    def parent():
+        proc = sim.spawn(child())
+        try:
+            yield proc
+        except KeyError:
+            return "caught"
+        return "missed"
+
+    assert sim.run_process(parent()) == "caught"
+
+
+def test_any_of_returns_first(sim):
+    def slow():
+        yield sim.timeout(10)
+        return "slow"
+
+    def fast():
+        yield sim.timeout(1)
+        return "fast"
+
+    def main():
+        a = sim.spawn(slow())
+        b = sim.spawn(fast())
+        winner, value = yield sim.any_of([a, b])
+        return value
+
+    assert sim.run_process(main()) == "fast"
+    assert sim.now == 1
+
+
+def test_all_of_collects_values(sim):
+    def worker(n):
+        yield sim.timeout(n)
+        return n
+
+    def main():
+        jobs = [sim.spawn(worker(n)) for n in (3, 1, 2)]
+        values = yield sim.all_of(jobs)
+        return values
+
+    assert sim.run_process(main()) == [3, 1, 2]
+    assert sim.now == 3
+
+
+def test_all_of_empty_triggers_immediately(sim):
+    def main():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(main()) == []
+
+
+def test_interrupt_delivers_cause(sim):
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as stop:
+            return (stop.cause, sim.now)
+        return None
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1)
+        proc.interrupt("wake up")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert proc.value == ("wake up", 1)
+
+
+def test_run_until_stops_clock(sim):
+    def forever():
+        while True:
+            yield sim.timeout(1)
+
+    sim.spawn(forever())
+    sim.run(until=5.5)
+    assert sim.now == 5.5
+
+
+def test_deadlock_detected(sim):
+    def stuck():
+        gate = sim.event()
+        yield gate   # never triggered
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(stuck())
+
+
+def test_yielding_non_event_fails(sim):
+    def bad():
+        yield 42
+
+    with pytest.raises(TypeError):
+        sim.run_process(bad())
+
+
+def test_spawn_requires_generator(sim):
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)

@@ -1,0 +1,149 @@
+"""Unit and property tests for Resource/Store/UtilizationTracker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+def test_resource_serializes_capacity_one(sim):
+    res = Resource(sim, capacity=1)
+    done = []
+
+    def worker(tag, hold):
+        yield from res.use(hold)
+        done.append((tag, sim.now))
+
+    sim.spawn(worker("a", 2.0))
+    sim.spawn(worker("b", 3.0))
+    sim.run()
+    assert done == [("a", 2.0), ("b", 5.0)]
+
+
+def test_resource_parallel_capacity_two(sim):
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def worker(tag):
+        yield from res.use(2.0)
+        done.append((tag, sim.now))
+
+    for tag in "abc":
+        sim.spawn(worker(tag))
+    sim.run()
+    assert done == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_resource_fifo_ordering(sim):
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield from res.acquire()
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release()
+
+    for tag in "abcd":
+        sim.spawn(worker(tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_release_without_acquire_rejected(sim):
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_utilization_full(sim):
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        yield from res.use(10.0)
+
+    sim.run_process(worker())
+    assert res.tracker.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_half(sim):
+    res = Resource(sim, capacity=2)
+
+    def worker():
+        yield from res.use(10.0)
+
+    sim.run_process(worker())
+    assert res.tracker.utilization() == pytest.approx(0.5)
+
+
+def test_utilization_window_reset(sim):
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        yield from res.use(4.0)
+        res.tracker.reset_window()
+        yield sim.timeout(6.0)
+
+    sim.run_process(worker())
+    assert res.tracker.utilization() == pytest.approx(0.0)
+
+
+def test_store_fifo(sim):
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+
+    def getter():
+        a = yield from store.get()
+        b = yield from store.get()
+        return (a, b)
+
+    assert sim.run_process(getter()) == (1, 2)
+
+
+def test_store_blocks_until_put(sim):
+    store = Store(sim)
+
+    def getter():
+        item = yield from store.get()
+        return (item, sim.now)
+
+    def putter():
+        yield sim.timeout(3)
+        store.put("x")
+
+    sim.spawn(putter())
+    assert sim.run_process(getter()) == ("x", 3)
+
+
+def test_store_get_nowait_and_drain(sim):
+    store = Store(sim)
+    assert store.get_nowait() is None
+    store.put(1)
+    store.put(2)
+    assert store.get_nowait() == 1
+    assert store.drain() == [2]
+    assert len(store) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(holds=st.lists(st.floats(min_value=0.01, max_value=5.0),
+                      min_size=1, max_size=12),
+       capacity=st.integers(min_value=1, max_value=4))
+def test_resource_conservation_property(holds, capacity):
+    """Total busy time equals the sum of holds; makespan is bounded by
+    the serial and ideal-parallel extremes."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+
+    def worker(hold):
+        yield from res.use(hold)
+
+    for hold in holds:
+        sim.spawn(worker(hold))
+    sim.run()
+    total = sum(holds)
+    assert res.tracker.busy_time == pytest.approx(total)
+    assert sim.now <= total + 1e-9
+    assert sim.now >= total / capacity - 1e-9
+    assert res.available == capacity

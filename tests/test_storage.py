@@ -1,0 +1,158 @@
+"""Unit and property tests for the disk and RAID-5 models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import DiskParams, RaidParams
+from repro.sim import Simulator
+from repro.storage import Disk, Raid5Volume
+
+
+def _fast_disk_params(**overrides):
+    base = dict(
+        sequential_bandwidth=40 * 1024 * 1024,
+        per_request_overhead=0.001,
+        short_seek=0.0002,
+        full_seek=0.008,
+        rotational_latency=0.0004,
+        write_back_cache=False,
+    )
+    base.update(overrides)
+    return DiskParams(**base)
+
+
+def test_sequential_read_skips_seek(sim):
+    disk = Disk(sim, _fast_disk_params())
+
+    def work():
+        yield from disk.read(1000, 1)      # random: seek + rotation
+        t1 = sim.now
+        yield from disk.read(1001, 1)      # head is there: sequential
+        return t1, sim.now
+
+    t1, t2 = sim.run_process(work())
+    assert (t2 - t1) < t1                  # no seek or rotation on the second
+
+
+def test_random_read_pays_seek_and_rotation(sim):
+    params = _fast_disk_params()
+    disk = Disk(sim, params)
+    near = disk.service_time(1, 1)
+    far = disk.service_time(disk.nblocks // 2, 1)
+    assert far > near > params.per_request_overhead
+
+
+def test_write_back_cache_absorbs_writes(sim):
+    cached = Disk(sim, _fast_disk_params(write_back_cache=True))
+    uncached = Disk(sim, _fast_disk_params())
+    far = cached.nblocks // 2
+    assert cached.service_time(far, 1, is_write=True) < \
+        uncached.service_time(far, 1, is_write=True)
+
+
+def test_disk_rejects_out_of_range(sim):
+    disk = Disk(sim, _fast_disk_params())
+
+    def work():
+        yield from disk.read(disk.nblocks, 1)
+
+    with pytest.raises(ValueError):
+        sim.run_process(work())
+
+
+def test_disk_queue_serializes(sim):
+    disk = Disk(sim, _fast_disk_params())
+
+    def reader():
+        yield from disk.read(0, 1)
+
+    single = Simulator()
+    d2 = Disk(single, _fast_disk_params())
+    single.run_process(d2.read(0, 1))
+    one = single.now
+
+    sim.spawn(disk.read(0, 1))
+    sim.spawn(disk.read(0, 1))
+    sim.run()
+    assert sim.now >= 2 * one - 1e-9
+
+
+# ---------------------------------------------------------------- raid
+
+def test_raid_geometry_bijective():
+    sim = Simulator()
+    raid = Raid5Volume(sim)
+    seen = set()
+    for block in range(0, 4096):
+        place = raid.locate(block)
+        assert place not in seen
+        seen.add(place)
+
+
+def test_raid_parity_rotates():
+    sim = Simulator()
+    raid = Raid5Volume(sim)
+    unit = raid.raid.stripe_unit_blocks
+    row_blocks = unit * raid.raid.data_disks
+    parities = {raid.parity_disk_for(row * row_blocks) for row in range(5)}
+    assert len(parities) == 5  # rotates over all 5 spindles
+
+
+def test_raid_data_never_on_parity_disk():
+    sim = Simulator()
+    raid = Raid5Volume(sim)
+    for block in range(0, 2048, 7):
+        disk, _physical = raid.locate(block)
+        assert disk != raid.parity_disk_for(block)
+
+
+def test_raid_read_spreads_across_disks(sim):
+    raid = Raid5Volume(sim)
+    unit = raid.raid.stripe_unit_blocks
+
+    def work():
+        yield from raid.read(0, unit * 4)   # a full stripe row
+
+    sim.run_process(work())
+    busy = [d for d in raid.disks if d.stats.read_ops]
+    assert len(busy) == 4
+
+
+def test_raid_full_stripe_write_touches_all_disks(sim):
+    raid = Raid5Volume(sim)
+    unit = raid.raid.stripe_unit_blocks
+
+    def work():
+        yield from raid.write(0, unit * 4)
+
+    sim.run_process(work())
+    assert all(d.stats.write_ops for d in raid.disks)
+
+
+def test_raid_small_write_updates_parity(sim):
+    raid = Raid5Volume(sim)
+
+    def work():
+        yield from raid.write(0, 1)
+
+    sim.run_process(work())
+    parity_disk = raid.disks[raid.parity_disk_for(0)]
+    assert parity_disk.stats.write_ops == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(start=st.integers(min_value=0, max_value=100_000),
+       count=st.integers(min_value=1, max_value=200))
+def test_raid_split_runs_cover_exactly(start, count):
+    """_split_runs partitions [start, start+count) without gaps/overlap."""
+    sim = Simulator()
+    raid = Raid5Volume(sim)
+    runs = raid._split_runs(start, count)
+    assert sum(length for _d, _p, length in runs) == count
+    rebuilt = []
+    for disk, physical, length in runs:
+        for i in range(length):
+            rebuilt.append((disk, physical + i))
+    # Every (disk, physical) must be the image of exactly one logical block.
+    logical = [raid.locate(b) for b in range(start, start + count)]
+    assert sorted(rebuilt) == sorted(logical)

@@ -1,0 +1,163 @@
+"""Stress/endurance integration tests across the whole stack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import STACK_KINDS, make_stack
+from repro.fs import FileExists, FileNotFound
+
+
+def _random_session(stack, seed, steps=120):
+    """Drive a random-but-valid syscall sequence; mirror it in a model."""
+    c = stack.client
+    rng = random.Random(seed)
+    model = {}           # path -> size
+    dirs = ["/"]
+
+    def work():
+        for step in range(steps):
+            action = rng.choice(
+                ["mkdir", "creat", "write", "read", "unlink", "stat",
+                 "rename", "cold"]
+            )
+            if action == "mkdir":
+                path = "%sd%d" % (rng.choice(dirs), step)
+                yield from c.mkdir(path)
+                dirs.append(path + "/")
+            elif action == "creat":
+                path = "%sf%d" % (rng.choice(dirs), step)
+                fd = yield from c.creat(path)
+                size = rng.randrange(0, 20_000)
+                if size:
+                    yield from c.write(fd, size)
+                yield from c.close(fd)
+                model[path] = size
+            elif action == "write" and model:
+                path = rng.choice(sorted(model))
+                fd = yield from c.open(path, 1)
+                extra = rng.randrange(1, 8_000)
+                yield from c.pwrite(fd, extra, model[path])
+                yield from c.close(fd)
+                model[path] += extra
+            elif action == "read" and model:
+                path = rng.choice(sorted(model))
+                fd = yield from c.open(path)
+                got = yield from c.read(fd, 1 << 20)
+                yield from c.close(fd)
+                assert got == model[path], path
+            elif action == "unlink" and model:
+                path = rng.choice(sorted(model))
+                yield from c.unlink(path)
+                del model[path]
+            elif action == "stat" and model:
+                path = rng.choice(sorted(model))
+                st_ = yield from c.stat(path)
+                assert st_.size == model[path], path
+            elif action == "rename" and model:
+                path = rng.choice(sorted(model))
+                new = "%sr%d" % (rng.choice(dirs), step)
+                if new not in model:
+                    yield from c.rename(path, new)
+                    model[new] = model.pop(path)
+            elif action == "cold":
+                yield from c.quiesce()
+        return None
+
+    stack.run(work(), name="stress")
+    stack.quiesce()
+    return model
+
+
+@pytest.mark.parametrize("kind", STACK_KINDS)
+def test_random_session_consistency(kind):
+    """120 random operations, with quiesces interleaved, on every stack:
+    sizes and namespace always match a plain in-memory model."""
+    stack = make_stack(kind)
+    model = _random_session(stack, seed=99)
+
+    c = stack.client
+
+    def verify():
+        for path, size in sorted(model.items()):
+            st_ = yield from c.stat(path)
+            assert st_.size == size, path
+        return len(model)
+
+    assert stack.run(verify()) == len(model)
+
+
+def test_random_session_survives_cold_remounts():
+    stack = make_stack("nfsv3")
+    model = _random_session(stack, seed=7, steps=60)
+    stack.make_cold()
+    c = stack.client
+
+    def verify():
+        count = 0
+        for path, size in sorted(model.items()):
+            st_ = yield from c.stat(path)
+            assert st_.size == size, path
+            count += 1
+        return count
+
+    assert stack.run(verify()) == len(model)
+
+
+def test_interleaved_workers_on_one_stack():
+    """Concurrent processes over one mount must not corrupt state."""
+    stack = make_stack("iscsi")
+    c = stack.client
+
+    def worker(tag, count):
+        for i in range(count):
+            path = "/w%s_%d" % (tag, i)
+            fd = yield from c.creat(path)
+            yield from c.write(fd, 4096 * (1 + i % 3))
+            yield from c.close(fd)
+        return tag
+
+    def main():
+        jobs = [stack.sim.spawn(worker(t, 25), name="w" + t)
+                for t in "abcd"]
+        done = yield stack.sim.all_of(jobs)
+        names = yield from c.readdir("/")
+        return done, names
+
+    done, names = stack.run(main())
+    stack.quiesce()
+    assert sorted(done) == list("abcd")
+    assert len(names) == 100
+
+
+def test_deep_tree_and_wide_directory():
+    stack = make_stack("iscsi")
+    c = stack.client
+
+    def work():
+        path = ""
+        for level in range(24):
+            path += "/L%d" % level
+            yield from c.mkdir(path)
+        for i in range(200):                 # several directory blocks
+            fd = yield from c.creat(path + "/f%03d" % i)
+            yield from c.close(fd)
+        names = yield from c.readdir(path)
+        return len(names)
+
+    assert stack.run(work()) == 200
+    stack.quiesce()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_nfs_and_iscsi_agree_on_semantics(seed):
+    """Property: the same random session yields the same visible state on
+    a file-access and a block-access stack (the paper's premise that only
+    the protocol, not the semantics, differs)."""
+    models = []
+    for kind in ("nfsv3", "iscsi"):
+        stack = make_stack(kind)
+        models.append(_random_session(stack, seed=seed, steps=40))
+    assert models[0] == models[1]

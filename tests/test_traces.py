@@ -1,0 +1,91 @@
+"""Tests for the synthetic traces and the Section-7 simulations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces import (
+    CAMPUS_PROFILE,
+    EECS_PROFILE,
+    TraceGenerator,
+    analyze_sharing,
+    simulate_metadata_cache,
+    sweep_cache_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def eecs_events():
+    return list(TraceGenerator(EECS_PROFILE).events(limit=40_000))
+
+
+@pytest.fixture(scope="module")
+def campus_events():
+    return list(TraceGenerator(CAMPUS_PROFILE).events(limit=40_000))
+
+
+def test_events_are_time_ordered(eecs_events):
+    times = [e.time for e in eecs_events]
+    assert times == sorted(times)
+
+
+def test_events_within_population(eecs_events):
+    p = EECS_PROFILE
+    assert all(0 <= e.directory < p.directories for e in eecs_events)
+    assert all(0 <= e.client < p.clients for e in eecs_events)
+
+
+def test_generator_deterministic():
+    a = list(TraceGenerator(EECS_PROFILE, seed=5).events(limit=500))
+    b = list(TraceGenerator(EECS_PROFILE, seed=5).events(limit=500))
+    assert a == b
+    c = list(TraceGenerator(EECS_PROFILE, seed=6).events(limit=500))
+    assert a != c
+
+
+def test_sharing_single_client_dominates(eecs_events):
+    point = analyze_sharing(eecs_events, intervals=(600,))[0]
+    assert point.read_by_one > point.read_by_multiple
+    assert point.written_by_one > point.written_by_multiple
+
+
+def test_sharing_read_write_shared_is_rare(eecs_events, campus_events):
+    """The paper: ~4% (EECS) and ~3.5% (Campus) at T=1000 s."""
+    for events in (eecs_events, campus_events):
+        point = analyze_sharing(events, intervals=(1000,))[0]
+        assert point.read_write_shared < 0.08
+
+
+def test_sharing_grows_with_interval(eecs_events):
+    points = analyze_sharing(eecs_events, intervals=(60, 1200))
+    assert points[1].read_by_multiple >= points[0].read_by_multiple
+
+
+def test_metadata_cache_reduction(eecs_events):
+    """Section 7: > 70% fewer meta-data messages at cache size ~2^10."""
+    result = simulate_metadata_cache(eecs_events, cache_size=1024)
+    assert result.reduction > 0.70
+
+
+def test_metadata_cache_callbacks_are_rare(eecs_events):
+    result = simulate_metadata_cache(eecs_events, cache_size=1024)
+    assert result.callback_ratio < 0.05
+
+
+def test_reduction_grows_with_cache_size(eecs_events):
+    sweep = sweep_cache_sizes(eecs_events, sizes=(16, 1024))
+    assert sweep[1024].reduction > sweep[16].reduction
+
+
+def test_consistent_cache_never_worse(campus_events):
+    result = simulate_metadata_cache(campus_events, cache_size=1024)
+    assert result.consistent_messages <= result.baseline_messages
+
+
+@settings(max_examples=10, deadline=None)
+@given(size=st.integers(min_value=1, max_value=2048))
+def test_metadata_cache_counts_are_sane(size):
+    events = list(TraceGenerator(EECS_PROFILE, seed=1).events(limit=2000))
+    result = simulate_metadata_cache(events, cache_size=size)
+    assert 0 <= result.consistent_messages <= result.events
+    assert 0 <= result.baseline_messages <= result.events
+    assert result.callbacks >= 0

@@ -1,0 +1,78 @@
+"""Tests for the Section-6.3 v4 compound-walk option."""
+
+from dataclasses import replace
+
+from repro.core import make_stack
+from repro.core.params import NfsParams, TestbedParams
+from repro.nfs import protocol as p
+
+
+def _compound_stack():
+    return make_stack("nfsv4", TestbedParams(
+        nfs=replace(NfsParams.for_version(4), compound_rpcs=True)
+    ))
+
+
+def test_compound_walk_resolves_deep_paths():
+    stack = _compound_stack()
+    c = stack.client
+
+    def work():
+        yield from c.mkdir("/a")
+        yield from c.mkdir("/a/b")
+        yield from c.mkdir("/a/b/c")
+        fd = yield from c.creat("/a/b/c/f")
+        yield from c.write(fd, 5000)
+        yield from c.close(fd)
+        st = yield from c.stat("/a/b/c/f")
+        return st.size
+
+    assert stack.run(work()) == 5000
+    stack.quiesce()
+
+
+def test_compound_walk_costs_one_exchange_cold():
+    stack = _compound_stack()
+    c = stack.client
+
+    def setup():
+        yield from c.mkdir("/a")
+        yield from c.mkdir("/a/b")
+        yield from c.mkdir("/a/b/c")
+        fd = yield from c.creat("/a/b/c/f")
+        yield from c.close(fd)
+
+    stack.run(setup())
+    stack.make_cold()
+    snap = stack.snapshot()
+
+    def walk():
+        yield from c.stat("/a/b/c/f")
+
+    stack.run(walk())
+    delta = stack.delta(snap)
+    assert delta.by_op.get(p.COMPOUND, 0) == 1
+    # No per-component LOOKUP storm:
+    assert delta.by_op.get(p.LOOKUP, 0) <= 1
+
+
+def test_compound_results_populate_dentry_cache():
+    stack = _compound_stack()
+    c = stack.client
+
+    def setup():
+        yield from c.mkdir("/a")
+        yield from c.mkdir("/a/b")
+        fd = yield from c.creat("/a/b/f")
+        yield from c.close(fd)
+
+    stack.run(setup())
+    stack.make_cold()
+
+    def twice():
+        yield from c.stat("/a/b/f")
+        snap = stack.snapshot()
+        yield from c.access("/a/b/f")
+        return stack.delta(snap).by_op.get(p.COMPOUND, 0)
+
+    assert stack.run(twice()) == 0   # the second walk rides the cache

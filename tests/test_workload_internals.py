@@ -1,0 +1,140 @@
+"""Unit tests for workload-generator internals and protocol plumbing."""
+
+import pytest
+
+from repro.fs.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    FsError,
+    IsADirectory,
+    NotADirectory,
+    PermissionDenied,
+)
+from repro.nfs.protocol import NfsStatus
+from repro.workloads import PostMark, SeqRandWorkload, TreeSpec
+from repro.workloads.microbench import SYSCALL_OPS, SyscallMicrobench, _FRESH_NAME_OPS
+
+
+# -------------------------------------------------------------- NfsStatus
+
+@pytest.mark.parametrize("error,status", [
+    (FileNotFound("x"), NfsStatus.NOENT),
+    (FileExists("x"), NfsStatus.EXIST),
+    (NotADirectory("x"), NfsStatus.NOTDIR),
+    (IsADirectory("x"), NfsStatus.ISDIR),
+    (DirectoryNotEmpty("x"), NfsStatus.NOTEMPTY),
+    (PermissionDenied("x"), NfsStatus.ACCES),
+])
+def test_status_roundtrip(error, status):
+    assert NfsStatus.from_exception(error) == status
+    back = NfsStatus.to_exception(status)
+    assert isinstance(back, type(error))
+
+
+def test_unknown_error_is_reraised():
+    with pytest.raises(RuntimeError):
+        NfsStatus.from_exception(RuntimeError("not an fs error"))
+
+
+def test_unknown_status_maps_to_fserror():
+    assert isinstance(NfsStatus.to_exception("bizarre"), FsError)
+
+
+# -------------------------------------------------------------- microbench
+
+def test_every_syscall_has_an_op_implementation():
+    bench = SyscallMicrobench("iscsi")
+    stack = bench._fresh_stack()
+    for op in SYSCALL_OPS:
+        stack.run(bench._op(stack.client, op, 0), name=op)
+    stack.quiesce()
+
+
+def test_unknown_op_rejected():
+    bench = SyscallMicrobench("iscsi")
+    stack = bench._fresh_stack()
+    with pytest.raises(ValueError):
+        stack.run(bench._op(stack.client, "frobnicate", 0))
+
+
+def test_fresh_name_ops_are_a_subset():
+    assert _FRESH_NAME_OPS <= set(SYSCALL_OPS)
+
+
+def test_base_path_construction():
+    assert SyscallMicrobench("iscsi", 0).base == ""
+    assert SyscallMicrobench("iscsi", 2).base == "/dir1/dir2"
+
+
+def test_cold_measure_is_deterministic():
+    a = SyscallMicrobench("nfsv3", 1).measure_cold("stat")
+    b = SyscallMicrobench("nfsv3", 1).measure_cold("stat")
+    assert a == b
+
+
+# -------------------------------------------------------------- seqrand
+
+def test_seqrand_chunk_math():
+    workload = SeqRandWorkload("iscsi", file_mb=2, chunk=4096)
+    assert workload.nchunks == 512
+    assert workload.file_bytes == 2 * 1024 * 1024
+
+
+def test_seqrand_random_permutation_seeded():
+    a = SeqRandWorkload("iscsi", file_mb=1, seed=3)
+    b = SeqRandWorkload("iscsi", file_mb=1, seed=3)
+    order_a = list(range(a.nchunks))
+    a.rng.shuffle(order_a)
+    order_b = list(range(b.nchunks))
+    b.rng.shuffle(order_b)
+    assert order_a == order_b
+
+
+def test_seqrand_result_fields():
+    result = SeqRandWorkload("iscsi", file_mb=1).run_write(True)
+    assert result.completion_time >= 0
+    assert result.messages > 0
+    assert result.bytes > 1024 * 1024
+    assert "msgs" in str(result)
+
+
+# -------------------------------------------------------------- postmark
+
+def test_postmark_deterministic_across_runs():
+    a = PostMark("iscsi", file_count=100, transactions=400).run()
+    b = PostMark("iscsi", file_count=100, transactions=400).run()
+    assert (a.messages, a.completion_time) == (b.messages, b.completion_time)
+
+
+def test_postmark_seed_changes_results():
+    a = PostMark("iscsi", file_count=100, transactions=400, seed=1).run()
+    b = PostMark("iscsi", file_count=100, transactions=400, seed=2).run()
+    assert a.messages != b.messages or a.completion_time != b.completion_time
+
+
+def test_postmark_result_metadata():
+    result = PostMark("iscsi", file_count=60, transactions=150).run()
+    assert result.files == 60
+    assert result.transactions == 150
+    assert 0 <= result.server_cpu <= 1
+    assert 0 <= result.client_cpu <= 1
+
+
+# -------------------------------------------------------------- kernel tree
+
+def test_tree_spec_counts():
+    spec = TreeSpec(top_dirs=4, subdirs_per_dir=3, files_per_dir=10)
+    assert spec.total_dirs == 16
+    assert spec.total_files == 160
+
+
+def test_tree_paths_unique():
+    from repro.workloads.kernel_tree import KernelTreeOps
+
+    ops = KernelTreeOps("iscsi", TreeSpec(top_dirs=3))
+    dirs, files = ops._paths()
+    assert len(set(dirs)) == len(dirs)
+    names = [path for path, _ in files]
+    assert len(set(names)) == len(names)
+    assert all(size >= 256 for _, size in files)

@@ -1,0 +1,174 @@
+"""Workload-level tests: small-scale runs asserting the paper's *shapes*."""
+
+import pytest
+
+from repro.workloads import (
+    KernelTreeOps,
+    PostMark,
+    SeqRandWorkload,
+    SyscallMicrobench,
+    TpccWorkload,
+    TpchWorkload,
+    TreeSpec,
+    run_batching_sweep,
+    run_depth_sweep,
+    run_io_size_sweep,
+)
+
+
+# ---------------------------------------------------------------- micro
+
+def test_cold_mkdir_matches_paper_exactly():
+    # Table 2, depth 0: the anchor cells.
+    assert SyscallMicrobench("nfsv2").measure_cold("mkdir") == 2
+    assert SyscallMicrobench("nfsv3").measure_cold("mkdir") == 2
+    assert SyscallMicrobench("nfsv4").measure_cold("mkdir") == 4
+
+
+def test_cold_chdir_matches_paper_exactly():
+    assert SyscallMicrobench("nfsv3").measure_cold("chdir") == 1
+    assert SyscallMicrobench("iscsi").measure_cold("chdir") == 2
+
+
+def test_cold_iscsi_exceeds_nfs():
+    """Table 2's headline: iSCSI pays more cold (path resolution in blocks)."""
+    for op in ("mkdir", "rmdir", "unlink", "readdir"):
+        nfs = SyscallMicrobench("nfsv3").measure_cold(op)
+        iscsi = SyscallMicrobench("iscsi").measure_cold(op)
+        assert iscsi > nfs, op
+
+
+def test_warm_iscsi_beats_or_ties_nfs():
+    """Table 3's headline: warm iSCSI <= warm NFS for read-only meta-data
+    (true caching beats consistency checks); readdir is the exception in
+    the paper too (iSCSI pays the atime update)."""
+    for op in ("chdir", "stat", "access"):
+        nfs = SyscallMicrobench("nfsv3").measure_warm(op)
+        iscsi = SyscallMicrobench("iscsi").measure_warm(op)
+        assert iscsi <= nfs, op
+    assert SyscallMicrobench("iscsi").measure_warm("readdir") == 2  # atime
+
+
+def test_depth_scaling_slopes():
+    """Figure 4: cold cost grows ~1/level for NFS v3, ~2/level for iSCSI,
+    and the warm cost is flat for both."""
+    nfs = run_depth_sweep("mkdir", "nfsv3", depths=(0, 4, 8))
+    iscsi = run_depth_sweep("mkdir", "iscsi", depths=(0, 4, 8))
+    assert nfs[8] - nfs[0] == 8
+    assert 14 <= iscsi[8] - iscsi[0] <= 18
+    warm = run_depth_sweep("mkdir", "iscsi", depths=(0, 8), warm=True)
+    assert abs(warm[8] - warm[0]) <= 1
+
+
+def test_batching_amortizes_iscsi_updates():
+    """Figure 3: amortized messages per op fall with batch size."""
+    sweep = run_batching_sweep("mkdir", batch_sizes=(1, 16, 128))
+    assert sweep[1] > sweep[16] > sweep[128]
+    assert sweep[128] < 1.5
+
+
+def test_io_size_sweep_shapes():
+    """Figure 5: v2 cold reads grow past the 8 KB transfer limit; iSCSI
+    stays flat (one command regardless of size)."""
+    sizes = (4096, 65536)
+    v2 = run_io_size_sweep("nfsv2", "cold-read", sizes=sizes)
+    iscsi = run_io_size_sweep("iscsi", "cold-read", sizes=sizes)
+    assert v2[65536] >= v2[4096] + 6
+    assert iscsi[65536] - iscsi[4096] <= 2
+
+
+def test_cold_write_async_escape():
+    """Figure 5c: v3 async writes leave the capture; v2 sync writes do not."""
+    sizes = (4096, 65536)
+    v2 = run_io_size_sweep("nfsv2", "cold-write", sizes=sizes)
+    v3 = run_io_size_sweep("nfsv3", "cold-write", sizes=sizes)
+    assert v2[65536] > v2[4096]
+    assert v3[65536] - v3[4096] <= 1
+
+
+# ---------------------------------------------------------------- table 4
+
+@pytest.fixture(scope="module")
+def seqrand_results():
+    results = {}
+    for kind in ("nfsv3", "iscsi"):
+        workload = SeqRandWorkload(kind, file_mb=8)
+        results[kind, "seq-write"] = workload.run_write(True)
+        results[kind, "seq-read"] = workload.run_read(True)
+        results[kind, "rand-read"] = workload.run_read(False)
+    return results
+
+
+def test_iscsi_writes_much_faster(seqrand_results):
+    nfs = seqrand_results["nfsv3", "seq-write"]
+    iscsi = seqrand_results["iscsi", "seq-write"]
+    assert iscsi.completion_time < nfs.completion_time / 4
+
+
+def test_iscsi_write_messages_coalesced(seqrand_results):
+    nfs = seqrand_results["nfsv3", "seq-write"]
+    iscsi = seqrand_results["iscsi", "seq-write"]
+    assert nfs.messages > 10 * iscsi.messages
+
+
+def test_read_messages_comparable(seqrand_results):
+    nfs = seqrand_results["nfsv3", "seq-read"]
+    iscsi = seqrand_results["iscsi", "seq-read"]
+    assert abs(nfs.messages - iscsi.messages) < 0.1 * nfs.messages
+
+
+def test_random_reads_slower_than_sequential(seqrand_results):
+    for kind in ("nfsv3", "iscsi"):
+        seq = seqrand_results[kind, "seq-read"]
+        rand = seqrand_results[kind, "rand-read"]
+        assert rand.completion_time > seq.completion_time
+
+
+def test_bytes_track_payload(seqrand_results):
+    for key, result in seqrand_results.items():
+        assert result.bytes > 8 * 1024 * 1024   # at least the file itself
+
+
+# ---------------------------------------------------------------- macro
+
+def test_postmark_headline():
+    """Table 5: iSCSI beats NFS by a wide margin on meta-data workloads."""
+    nfs = PostMark("nfsv3", file_count=200, transactions=1500).run()
+    iscsi = PostMark("iscsi", file_count=200, transactions=1500).run()
+    assert iscsi.completion_time < nfs.completion_time / 5
+    assert iscsi.messages < nfs.messages / 20
+
+
+def test_postmark_cpu_profile():
+    """Tables 9-10: NFS burns the server; iSCSI burns the client."""
+    nfs = PostMark("nfsv3", file_count=200, transactions=1500).run()
+    iscsi = PostMark("iscsi", file_count=200, transactions=1500).run()
+    assert nfs.server_cpu > iscsi.server_cpu
+    assert iscsi.client_cpu > nfs.client_cpu
+
+
+def test_tpcc_comparable():
+    """Table 6: OLTP throughput comparable between the stacks."""
+    nfs = TpccWorkload("nfsv3", transactions=300, table_mb=32).run()
+    iscsi = TpccWorkload("iscsi", transactions=300, table_mb=32).run()
+    ratio = iscsi.throughput / nfs.throughput
+    assert 0.7 < ratio < 1.5
+
+
+def test_tpch_message_gap():
+    """Table 7: NFS needs several times more messages for the same scans."""
+    nfs = TpchWorkload("nfsv3", queries=2, database_mb=32).run()
+    iscsi = TpchWorkload("iscsi", queries=2, database_mb=32).run()
+    assert nfs.messages > 3 * iscsi.messages
+    assert 0.7 < (iscsi.throughput / nfs.throughput) < 1.6
+
+
+def test_kernel_tree_shape():
+    """Table 8: iSCSI wins the meta-data phases; compile is comparable."""
+    spec = TreeSpec(top_dirs=3, subdirs_per_dir=2, files_per_dir=8)
+    nfs = KernelTreeOps("nfsv3", spec).run_all()
+    iscsi = KernelTreeOps("iscsi", spec).run_all()
+    assert iscsi.tar_seconds < nfs.tar_seconds
+    assert iscsi.rm_seconds < nfs.rm_seconds
+    assert iscsi.make_seconds < nfs.make_seconds
+    assert iscsi.make_seconds > 0.5 * nfs.make_seconds  # CPU-bound parity

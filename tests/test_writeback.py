@@ -1,0 +1,153 @@
+"""Focused tests for the NFS client's bounded async write-back machinery."""
+
+import pytest
+
+from repro.core import make_stack
+from repro.core.params import NfsParams, TestbedParams
+from repro.nfs import protocol as p
+
+
+def _stack(**nfs_overrides):
+    return make_stack("nfsv3", TestbedParams(nfs=NfsParams(**nfs_overrides)))
+
+
+def test_dirty_pages_age_before_flush():
+    stack = _stack(writeback_delay=2.0)
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/f")
+        yield from c.write(fd, 4096)
+        yield stack.sim.timeout(0.5)
+        early = stack.counters.by_op.get(p.WRITE, 0)
+        yield stack.sim.timeout(3.0)
+        late = stack.counters.by_op.get(p.WRITE, 0)
+        return early, late
+
+    early, late = stack.run(work())
+    assert early == 0        # still aging
+    assert late >= 1         # the daemon flushed it
+
+
+def test_fsync_jumps_the_aging_queue():
+    stack = _stack(writeback_delay=30.0)
+    c = stack.client
+
+    def work():
+        fd_slow = yield from c.creat("/slow")
+        yield from c.write(fd_slow, 8 * 4096)   # ages at the queue head
+        fd_log = yield from c.creat("/log")
+        yield from c.pwrite(fd_log, 4096, 0)
+        start = stack.now
+        yield from c.fsync(fd_log)              # must not wait 30 s
+        return stack.now - start
+
+    elapsed = stack.run(work())
+    assert elapsed < 1.0
+
+
+def test_flush_rpcs_are_per_page_by_default():
+    stack = _stack()
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/f")
+        yield from c.write(fd, 8 * 4096)
+        yield from c.close(fd)
+
+    stack.run(work())
+    assert stack.counters.by_op.get(p.WRITE, 0) == 8
+
+
+def test_flush_rpcs_merge_with_spatial_aggregation():
+    """Section 6.1's speculated fix: larger flush RPCs shrink the count."""
+    stack = _stack(pages_per_flush_rpc=8)
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/f")
+        yield from c.write(fd, 8 * 4096)
+        yield from c.close(fd)
+
+    stack.run(work())
+    assert stack.counters.by_op.get(p.WRITE, 0) == 1
+
+
+def test_final_partial_page_clamped_to_eof():
+    stack = _stack()
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/f")
+        yield from c.write(fd, 10_000)          # 2.44 pages
+        yield from c.close(fd)
+        st = yield from c.stat("/f")
+        return st.size
+
+    assert stack.run(work()) == 10_000
+    stack.quiesce()
+    # And the server's own idea of the size agrees.
+    root = stack.fs.inodes[1]
+    ino = root.entries["f"]
+    assert stack.fs.inodes[ino].size == 10_000
+
+
+def test_commit_follows_unstable_writes_only():
+    stack = _stack()
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/clean")
+        yield from c.close(fd)                  # nothing dirty: no COMMIT
+        fd = yield from c.creat("/dirty")
+        yield from c.write(fd, 4096)
+        yield from c.close(fd)                  # flush + COMMIT
+
+    stack.run(work())
+    assert stack.counters.by_op.get(p.COMMIT, 0) == 1
+
+
+def test_throttle_engages_beyond_backlog():
+    narrow = _stack(max_pending_writes=2)
+    c = narrow.client
+
+    def work():
+        fd = yield from c.creat("/big")
+        for _ in range(64):
+            yield from c.write(fd, 4096)
+        return narrow.now
+
+    elapsed = narrow.run(work())
+    # With a 2-deep pool the writer must have stalled on completions.
+    assert elapsed > 0.001
+
+
+def test_overwrite_same_page_coalesces_in_cache():
+    stack = _stack(writeback_delay=5.0)
+    c = stack.client
+
+    def work():
+        fd = yield from c.creat("/f")
+        for _ in range(50):
+            yield from c.pwrite(fd, 4096, 0)    # same page, 50 times
+        yield from c.close(fd)
+
+    stack.run(work())
+    # One dirty page -> one WRITE, however many times it was dirtied.
+    assert stack.counters.by_op.get(p.WRITE, 0) == 1
+
+
+def test_quiesce_drains_everything():
+    stack = _stack(writeback_delay=60.0)
+    c = stack.client
+
+    def work():
+        for i in range(5):
+            fd = yield from c.creat("/f%d" % i)
+            yield from c.write(fd, 2 * 4096)
+            # no close: pages sit in the aging queue
+
+    stack.run(work())
+    stack.quiesce()
+    assert stack.nfs_client._pages.dirty_count == 0
+    assert stack.counters.by_op.get(p.WRITE, 0) == 10
