@@ -2,9 +2,9 @@
 """Scenario: protocol forensics — watch what each syscall puts on the wire.
 
 The paper's micro-benchmarking method, interactive: run one system call on
-a cold or warm stack and print the exact protocol exchange (op mix, bytes),
-the simulated Ethereal.  Useful for building intuition about *why* the
-tables look the way they do.
+a cold or warm stack and print the exact protocol exchange plus the causal
+span tree recorded by ``repro.obs`` — the simulated Ethereal.  Useful for
+building intuition about *why* the tables look the way they do.
 
 Run:  python examples/protocol_inspector.py [syscall] [depth]
       e.g. python examples/protocol_inspector.py mkdir 3
@@ -15,8 +15,17 @@ import sys
 from repro.workloads import SYSCALL_OPS
 from repro.workloads.microbench import SyscallMicrobench
 from repro.core import make_stack
+from repro.obs import render_span_tree
 
 KINDS = ("nfsv2", "nfsv3", "nfsv4", "iscsi", "nfs-enhanced")
+
+
+def _traced_stack(bench):
+    """A mounted, set-up stack of the bench's kind with tracing attached."""
+    stack = make_stack(bench.kind, bench.params, trace=True)
+    stack.run(bench._setup(stack.client), name="setup")
+    stack.quiesce()
+    return stack
 
 
 def inspect(op: str, depth: int):
@@ -24,12 +33,12 @@ def inspect(op: str, depth: int):
     for label, warm in (("cold cache", False), ("warm cache", True)):
         print()
         print("== %s ==" % label)
+        trees = []
         print("%-14s %6s   %s" % ("stack", "msgs", "protocol exchange"))
         print("-" * 70)
         for kind in KINDS:
             bench = SyscallMicrobench(kind, depth)
-            # Re-run with a visible per-op breakdown.
-            stack = bench._fresh_stack()
+            stack = _traced_stack(bench)
             stack.make_cold()
             if warm:
                 stack.run(bench._op(stack.client, op, 0), name="prime")
@@ -38,16 +47,32 @@ def inspect(op: str, depth: int):
                 stack.quiesce()
                 stack.run(_sleep(stack, 4.0), name="age")
                 stack.quiesce()
-            snap = stack.snapshot()
+            tracer = stack.tracer
+            first_msg = len(tracer.messages)
+            started = stack.now
             stack.run(bench._op(stack.client, op, 1 if warm else 0),
                       name=op)
             stack.quiesce()
-            delta = stack.delta(snap)
-            mix = ", ".join(
+            messages = tracer.messages[first_msg:]
+            requests = [m for m in messages if m.kind == "request"]
+            mix = {}
+            for msg in requests:
+                mix[msg.op] = mix.get(msg.op, 0) + 1
+            text = ", ".join(
                 "%s x%d" % (name, count) if count > 1 else name
-                for name, count in sorted(delta.by_op.items())
+                for name, count in sorted(mix.items())
             )
-            print("%-14s %6d   %s" % (kind, delta.messages, mix or "(none)"))
+            print("%-14s %6d   %s" % (kind, len(messages), text or "(none)"))
+            # The syscall spans the op opened — the causal trees to print.
+            roots = [span for span in tracer.spans
+                     if span.cat == "syscall" and span.start >= started]
+            roots.sort(key=lambda span: (span.start, span.id))
+            trees.append((kind, render_span_tree(tracer, roots=roots,
+                                                 include_args=False)))
+        for kind, tree in trees:
+            print()
+            print("-- %s span tree --" % kind)
+            print(tree if tree else "(no syscall spans)")
 
 
 def _sleep(stack, seconds):

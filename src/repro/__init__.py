@@ -36,6 +36,7 @@ from .core.params import (
     RaidParams,
     TestbedParams,
 )
+from .obs import Tracer
 from .sim import Simulator
 
 __version__ = "1.0.0"
@@ -55,6 +56,7 @@ __all__ = [
     "Simulator",
     "StorageStack",
     "TestbedParams",
+    "Tracer",
     "make_stack",
     "__version__",
 ]

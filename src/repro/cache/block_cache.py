@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from ..core.params import CacheParams
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Event, Simulator
 from ..storage.blockdev import BlockDevice
 from .policies import CacheStats, LruDict
@@ -50,9 +51,13 @@ class BlockCache:
         max_coalesced_bytes: int = 128 * 1024,
         start_flusher: bool = True,
         name: str = "bcache",
+        tracer: Optional[NullTracer] = None,
+        track: str = "server",
     ):
         self.sim = sim
         self.device = device
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
         self.params = params if params is not None else CacheParams()
         self.block_size = device.block_size
         self.capacity_blocks = max(1, capacity_bytes // self.block_size)
@@ -113,6 +118,12 @@ class BlockCache:
                 self.stats.misses += 1
                 missing.append(block)
                 self._inflight[block] = self.sim.event()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "bcache." + ("hit" if not missing else "miss"),
+                cat="cache", track=self.track, start=start,
+                hits=count - len(missing), misses=len(missing),
+            )
         for run_start, run_len in _runs(missing):
             yield from self.device.read(run_start, run_len)
             for block in range(run_start, run_start + run_len):
@@ -180,14 +191,27 @@ class BlockCache:
             self._dirty.pop(block, None)
         # All write-back requests enter the device queue at once — the
         # block layer keeps the queue deep; the device serializes.
-        jobs = [
-            self.sim.spawn(
-                self.device.write(run_start, run_len), name=self.name + ".wb"
+        span = None
+        if self.tracer.enabled and todo:
+            span = self.tracer.begin_span(
+                "cache.flush", cat="cache", track=self.track,
+                blocks=len(todo),
             )
-            for run_start, run_len in _runs(todo, self.max_coalesced_blocks)
-        ]
-        if jobs:
-            yield self.sim.all_of(jobs)
+        try:
+            jobs = []
+            for run_start, run_len in _runs(todo, self.max_coalesced_blocks):
+                job = self.sim.spawn(
+                    self.device.write(run_start, run_len),
+                    name=self.name + ".wb",
+                )
+                if span is not None:
+                    job.trace_parent = span.id
+                jobs.append(job)
+            if jobs:
+                yield self.sim.all_of(jobs)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
         self._wake_throttled()
         return None
 

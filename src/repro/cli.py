@@ -270,6 +270,137 @@ def cmd_sec7(_args) -> int:
     return 0
 
 
+# -- trace: the simulated-Ethereal front end ------------------------------------------
+
+
+def _workload_smoke(client):
+    """A handful of syscalls touching every layer once."""
+    yield from client.mkdir("/d")
+    fd = yield from client.creat("/d/f")
+    yield from client.write(fd, 16_384)
+    yield from client.fsync(fd)
+    yield from client.pread(fd, 4096, 0)
+    yield from client.close(fd)
+    yield from client.stat("/d/f")
+
+
+def _workload_postmark(client, files=20, transactions=60, seed=42):
+    """A small PostMark-like mix: create pool, transact, delete pool."""
+    import random
+
+    from .fs.vfs import O_RDWR
+
+    rng = random.Random(seed)
+    yield from client.mkdir("/pm")
+    names = []
+    for index in range(files):
+        name = "/pm/f%03d" % index
+        fd = yield from client.creat(name)
+        yield from client.pwrite(fd, rng.randrange(512, 16_384), 0)
+        yield from client.close(fd)
+        names.append(name)
+    serial = files
+    for _ in range(transactions):
+        choice = rng.randrange(4)
+        if choice == 0 and names:  # read a whole file
+            fd = yield from client.open(rng.choice(names))
+            attrs = yield from client.fstat(fd)
+            yield from client.pread(fd, attrs.size, 0)
+            yield from client.close(fd)
+        elif choice == 1 and names:  # append
+            fd = yield from client.open(rng.choice(names), O_RDWR)
+            attrs = yield from client.fstat(fd)
+            yield from client.pwrite(fd, rng.randrange(512, 8192), attrs.size)
+            yield from client.close(fd)
+        elif choice == 2:  # create
+            name = "/pm/f%03d" % serial
+            serial += 1
+            fd = yield from client.creat(name)
+            yield from client.pwrite(fd, rng.randrange(512, 16_384), 0)
+            yield from client.close(fd)
+            names.append(name)
+        elif names:  # delete
+            victim = names.pop(rng.randrange(len(names)))
+            yield from client.unlink(victim)
+    for name in names:
+        yield from client.unlink(name)
+    yield from client.rmdir("/pm")
+
+
+def _make_io_workload(sequential: bool, write: bool, file_mb: int = 2):
+    """Sequential/random whole-file reader or writer over 64 KB requests."""
+
+    def workload(client):
+        import random
+
+        from .fs.vfs import O_RDWR
+
+        request = 64 * 1024
+        size = file_mb * 1024 * 1024
+        offsets = list(range(0, size, request))
+        fd = yield from client.creat("/io")
+        yield from client.pwrite(fd, size, 0)
+        yield from client.fsync(fd)
+        if not sequential:
+            random.Random(7).shuffle(offsets)
+        for offset in offsets:
+            if write:
+                yield from client.pwrite(fd, request, offset)
+            else:
+                yield from client.pread(fd, request, offset)
+        yield from client.close(fd)
+
+    return workload
+
+
+TRACE_WORKLOADS = {
+    "smoke": _workload_smoke,
+    "postmark": _workload_postmark,
+    "seqread": _make_io_workload(sequential=True, write=False),
+    "randread": _make_io_workload(sequential=False, write=False),
+    "seqwrite": _make_io_workload(sequential=True, write=True),
+    "randwrite": _make_io_workload(sequential=False, write=True),
+}
+
+
+def _run_traced(kind: str, workload: str):
+    stack = make_stack(kind, trace=True)
+    stack.run(TRACE_WORKLOADS[workload](stack.client))
+    stack.quiesce()
+    return stack
+
+
+def cmd_trace(args) -> int:
+    from .obs import (format_op_summary, render_span_tree,
+                      render_timeline_diff, write_chrome_trace,
+                      write_packet_trace)
+
+    stack = _run_traced(args.stack, args.workload)
+    tracer = stack.tracer
+    if args.diff:
+        other = _run_traced(args.diff, args.workload)
+        print(render_timeline_diff(tracer, args.stack,
+                                   other.tracer, args.diff,
+                                   limit=args.limit))
+        print()
+    if args.out:
+        write_chrome_trace(tracer, args.out)
+        print("chrome trace: %s (open in chrome://tracing or Perfetto)"
+              % args.out)
+    if args.jsonl:
+        write_packet_trace(tracer, args.jsonl)
+        print("packet trace: %s" % args.jsonl)
+    if args.tree:
+        print(render_span_tree(tracer))
+        print()
+    print("%s on %s: %d spans, %d messages, %.2f simulated ms" % (
+        args.workload, args.stack, len(tracer.spans), len(tracer.messages),
+        stack.now * 1000))
+    print()
+    print(format_op_summary(tracer))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -332,6 +463,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("fig7").set_defaults(func=cmd_fig7)
     sub.add_parser("sec7").set_defaults(func=cmd_sec7)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run a workload with tracing on and export/inspect the trace",
+    )
+    tr.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    tr.add_argument("--stack", choices=STACK_KINDS, default="nfsv3")
+    tr.add_argument("--out", metavar="FILE",
+                    help="write a Chrome trace_event JSON file")
+    tr.add_argument("--jsonl", metavar="FILE",
+                    help="write the Ethereal-style packet trace (JSON lines)")
+    tr.add_argument("--diff", metavar="KIND", choices=STACK_KINDS,
+                    help="also run KIND and print a side-by-side "
+                         "protocol timeline")
+    tr.add_argument("--tree", action="store_true",
+                    help="print the causal span tree")
+    tr.add_argument("--limit", type=int, default=60,
+                    help="max rows in --diff output (0 = all)")
+    tr.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -31,6 +31,8 @@ from ..net.rpc import RetransmitPolicy, RpcPeer
 from ..net.transport import DuplexTransport
 from ..nfs.client import NfsClient
 from ..nfs.server import NfsServer
+from ..obs.proxy import TracedClient
+from ..obs.tracer import NULL_TRACER, NullTracer, Tracer
 from ..sim import Simulator
 from ..storage.raid import Raid5Volume
 from .counters import CountersSnapshot, MessageCounters
@@ -44,7 +46,8 @@ STACK_KINDS = ("nfsv2", "nfsv3", "nfsv4", "iscsi", "nfs-enhanced")
 class StorageStack:
     """A fully wired client/server testbed for one protocol stack."""
 
-    def __init__(self, kind: str, params: Optional[TestbedParams] = None):
+    def __init__(self, kind: str, params: Optional[TestbedParams] = None,
+                 trace: bool = False, tracer: Optional[NullTracer] = None):
         if kind not in STACK_KINDS:
             raise ValueError("unknown stack kind %r; one of %s" % (kind, STACK_KINDS))
         self.kind = kind
@@ -52,6 +55,11 @@ class StorageStack:
         self.params = self._specialize_params(kind, self.params)
 
         self.sim = Simulator()
+        # Observability: a recording Tracer when requested, else the
+        # zero-overhead NULL_TRACER (identical event sequence to untraced).
+        if tracer is None:
+            tracer = Tracer(self.sim) if trace else NULL_TRACER
+        self.tracer = tracer
         cpu = self.params.cpu
         self.client_host = Host(self.sim, cpu.client_cpus, "client")
         self.server_host = Host(self.sim, cpu.server_cpus, "server")
@@ -67,6 +75,7 @@ class StorageStack:
             counters=self.counters,
             reliable=self.params.nfs.transport != "udp" or kind == "iscsi",
             name=kind,
+            tracer=self.tracer,
         )
         self.raid = Raid5Volume(
             self.sim,
@@ -76,11 +85,16 @@ class StorageStack:
             parity_cpu_per_byte=cpu.raid_parity_per_byte,
             io_cpu=cpu.disk_io_issue,
             name="array",
+            tracer=self.tracer,
         )
         if kind == "iscsi":
             self._build_iscsi()
         else:
             self._build_nfs()
+        self.raw_client = self.client
+        if self.tracer.enabled:
+            self.client = TracedClient(self.client, self.tracer)
+            self._register_probes()
         self.mounted = False
 
     # -- construction ----------------------------------------------------------------
@@ -133,10 +147,13 @@ class StorageStack:
             per_message_cpu=cpu.net_per_message,
             per_byte_cpu=cpu.copy_per_byte,
             name="iscsi.target.rpc",
+            tracer=self.tracer,
+            track="server",
         )
         self.target = IscsiTarget(
             self.sim, self.raid, target_rpc,
             cpu=self.server_host.cpu, cpu_params=cpu,
+            tracer=self.tracer,
         )
         initiator_rpc = RpcPeer(
             self.sim,
@@ -146,11 +163,14 @@ class StorageStack:
             per_message_cpu=cpu.net_per_message,
             per_byte_cpu=cpu.copy_per_byte,
             name="iscsi.initiator.rpc",
+            tracer=self.tracer,
+            track="client",
         )
         self.initiator = IscsiInitiator(
             self.sim, initiator_rpc, nblocks=self.raid.nblocks,
             params=self.params.iscsi,
             cpu=self.client_host.cpu, cpu_params=cpu,
+            tracer=self.tracer,
         )
         self.fs = Ext3Fs(
             self.sim,
@@ -163,6 +183,8 @@ class StorageStack:
             readahead_blocks=8,
             testbed=self.params,
             name="client-ext3",
+            tracer=self.tracer,
+            track="client",
         )
         self.client = Vfs(self.fs)
         self.server = None
@@ -181,6 +203,8 @@ class StorageStack:
             readahead_blocks=8,
             testbed=self.params,
             name="server-ext3",
+            tracer=self.tracer,
+            track="server",
         )
         server_rpc = RpcPeer(
             self.sim,
@@ -192,9 +216,12 @@ class StorageStack:
             ),
             per_byte_cpu=cpu.copy_per_byte,
             name="nfsd.rpc",
+            tracer=self.tracer,
+            track="server",
         )
         self.server = NfsServer(
             self.sim, self.fs, server_rpc, params=nfs, cpu_params=cpu,
+            tracer=self.tracer,
         )
         retransmit = RetransmitPolicy(
             timeout=nfs.rpc_timeout,
@@ -211,6 +238,8 @@ class StorageStack:
             per_byte_cpu=cpu.copy_per_byte,
             retransmit=retransmit,
             name="nfs.client.rpc",
+            tracer=self.tracer,
+            track="client",
         )
         self.nfs_client = NfsClient(
             self.sim,
@@ -219,10 +248,44 @@ class StorageStack:
             cache_params=self.params.cache,
             cpu_params=cpu,
             readahead_pages=4,
+            tracer=self.tracer,
         )
         self.client = self.nfs_client
         self.target = None
         self.initiator = None
+
+    def _register_probes(self) -> None:
+        """Attach the vmstat-style utilization probes and start sampling."""
+
+        def cpu_probe(host: Host):
+            tracker = host.cpu.tracker
+            def probe() -> float:
+                tracker._accumulate()
+                return tracker.busy_time / tracker.capacity
+            return probe
+
+        self.tracer.add_probe(
+            "cpu.client", cpu_probe(self.client_host),
+            kind="cumulative", track="client",
+        )
+        self.tracer.add_probe(
+            "cpu.server", cpu_probe(self.server_host),
+            kind="cumulative", track="server",
+        )
+        self.tracer.add_probe(
+            "link.MBps", lambda: float(self.link.total_bytes),
+            kind="rate", track="wire", scale=1e-6,
+        )
+        self.tracer.add_probe(
+            "disk.queue",
+            lambda: float(sum(
+                disk.queue.queue_length
+                + (disk.queue.capacity - disk.queue.available)
+                for disk in self.raid.disks
+            )),
+            kind="gauge", track="server",
+        )
+        self.tracer.start_sampling()
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -284,9 +347,13 @@ class StorageStack:
 
 
 def make_stack(kind: str, params: Optional[TestbedParams] = None,
-               mounted: bool = True) -> StorageStack:
-    """Build (and by default mount) a stack of the given kind."""
-    stack = StorageStack(kind, params)
+               mounted: bool = True, trace: bool = False) -> StorageStack:
+    """Build (and by default mount) a stack of the given kind.
+
+    Pass ``trace=True`` to attach a recording :class:`repro.obs.Tracer`
+    (exposed as ``stack.tracer``); the default is the no-op tracer.
+    """
+    stack = StorageStack(kind, params, trace=trace)
     if mounted:
         stack.mount()
     return stack

@@ -7,10 +7,13 @@ paper's tables; see DESIGN.md §2).  Counters are therefore first-class
 objects threaded through every layer, playing the role Ethereal/nfsstat
 played in the original study.
 
-:class:`MessageCounters` tallies requests, replies, bytes, and a per-op
-breakdown.  :meth:`MessageCounters.snapshot` / :meth:`MessageCounters.delta`
-bracket an experiment the way the authors bracketed a system call with
-packet captures.
+:class:`MessageCounters` tallies requests, replies, bytes, and per-op
+breakdowns — including *separate* per-op retransmission and reply-byte
+tallies, so a spurious-retransmission storm (Section 4.6) is visible as
+such rather than folded into the request mix.
+:meth:`MessageCounters.snapshot` / :meth:`MessageCounters.delta` bracket an
+experiment the way the authors bracketed a system call with packet
+captures.
 """
 
 from __future__ import annotations
@@ -20,6 +23,12 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 __all__ = ["MessageCounters", "CountersSnapshot"]
+
+
+def _sub_dicts(left: Dict[str, int], right: Dict[str, int]) -> Dict[str, int]:
+    out = Counter(left)
+    out.subtract(right)
+    return {op: n for op, n in out.items() if n}
 
 
 @dataclass(frozen=True)
@@ -32,6 +41,8 @@ class CountersSnapshot:
     bytes_sent: int
     bytes_received: int
     by_op: Dict[str, int]
+    retransmits_by_op: Dict[str, int] = field(default_factory=dict)
+    reply_bytes_by_op: Dict[str, int] = field(default_factory=dict)
 
     @property
     def messages(self) -> int:
@@ -43,15 +54,17 @@ class CountersSnapshot:
         return self.bytes_sent + self.bytes_received
 
     def __sub__(self, other: "CountersSnapshot") -> "CountersSnapshot":
-        by_op = Counter(self.by_op)
-        by_op.subtract(other.by_op)
         return CountersSnapshot(
             requests=self.requests - other.requests,
             replies=self.replies - other.replies,
             retransmissions=self.retransmissions - other.retransmissions,
             bytes_sent=self.bytes_sent - other.bytes_sent,
             bytes_received=self.bytes_received - other.bytes_received,
-            by_op={op: n for op, n in by_op.items() if n},
+            by_op=_sub_dicts(self.by_op, other.by_op),
+            retransmits_by_op=_sub_dicts(
+                self.retransmits_by_op, other.retransmits_by_op),
+            reply_bytes_by_op=_sub_dicts(
+                self.reply_bytes_by_op, other.reply_bytes_by_op),
         )
 
 
@@ -65,6 +78,8 @@ class MessageCounters:
     bytes_sent: int = 0
     bytes_received: int = 0
     by_op: Counter = field(default_factory=Counter)
+    retransmits_by_op: Counter = field(default_factory=Counter)
+    reply_bytes_by_op: Counter = field(default_factory=Counter)
 
     @property
     def messages(self) -> int:
@@ -81,6 +96,7 @@ class MessageCounters:
         """Tally one incoming protocol reply of ``size`` bytes."""
         self.replies += 1
         self.bytes_received += size
+        self.reply_bytes_by_op[op] += size
 
     def count_retransmission(self, op: str, size: int) -> None:
         """A re-sent request counts as a message and as a retransmission."""
@@ -88,6 +104,7 @@ class MessageCounters:
         self.requests += 1
         self.bytes_sent += size
         self.by_op[op] += 1
+        self.retransmits_by_op[op] += 1
 
     def snapshot(self) -> CountersSnapshot:
         """Return an immutable copy of the current counter values."""
@@ -98,6 +115,8 @@ class MessageCounters:
             bytes_sent=self.bytes_sent,
             bytes_received=self.bytes_received,
             by_op=dict(self.by_op),
+            retransmits_by_op=dict(self.retransmits_by_op),
+            reply_bytes_by_op=dict(self.reply_bytes_by_op),
         )
 
     def delta(self, since: CountersSnapshot) -> CountersSnapshot:
@@ -112,3 +131,5 @@ class MessageCounters:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.by_op.clear()
+        self.retransmits_by_op.clear()
+        self.reply_bytes_by_op.clear()

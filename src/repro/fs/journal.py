@@ -23,6 +23,7 @@ from typing import Generator, Optional, Set
 
 from ..cache.block_cache import BlockCache
 from ..core.params import Ext3Params
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Simulator
 from .layout import DiskLayout
 
@@ -39,10 +40,14 @@ class Journal:
         layout: DiskLayout,
         params: Optional[Ext3Params] = None,
         name: str = "journal",
+        tracer: Optional[NullTracer] = None,
+        track: str = "server",
     ):
         self.sim = sim
         self.cache = cache
         self.layout = layout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
         self.params = params if params is not None else Ext3Params()
         self.name = name
         self._metadata: Set[int] = set()
@@ -93,6 +98,12 @@ class Journal:
             return None
         if not self._metadata and not self._ordered_data:
             return None
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "journal.commit", cat="journal", track=self.track,
+                metadata=len(self._metadata), ordered=len(self._ordered_data),
+            )
         self._committing = True
         try:
             metadata, self._metadata = sorted(self._metadata), set()
@@ -115,6 +126,8 @@ class Journal:
             self.commits += 1
         finally:
             self._committing = False
+            if span is not None:
+                self.tracer.end_span(span)
         if len(self._checkpoint_pending) * 3 > self.layout.journal_blocks:
             yield from self.checkpoint()
         return None
@@ -125,6 +138,16 @@ class Journal:
         self._checkpoint_pending.clear()
         if not blocks:
             return None
+        if self.tracer.enabled:
+            result = yield from self.tracer.wrap(
+                "journal.checkpoint", self._checkpoint_runs(blocks),
+                cat="journal", track=self.track, blocks=len(blocks),
+            )
+            return result
+        yield from self._checkpoint_runs(blocks)
+        return None
+
+    def _checkpoint_runs(self, blocks) -> Generator:
         self.checkpoints += 1
         segment = max(1, self.params.journal_segment_bytes // self.params.block_size)
         run_start: int = blocks[0]

@@ -16,6 +16,7 @@ from typing import Generator, Optional
 
 from ..core.params import CpuParams, IscsiParams
 from ..net.rpc import RpcPeer
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Resource, Simulator
 from ..storage.blockdev import BlockDevice
 from . import scsi
@@ -35,10 +36,12 @@ class IscsiInitiator(BlockDevice):
         cpu: Optional[Resource] = None,
         cpu_params: Optional[CpuParams] = None,
         name: str = "iscsi-initiator",
+        tracer: Optional[NullTracer] = None,
     ):
         super().__init__(nblocks, name=name)
         self.sim = sim
         self.rpc = rpc
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.params = params if params is not None else IscsiParams()
         self.cpu = cpu
         self.cpu_params = cpu_params if cpu_params is not None else CpuParams()
@@ -88,16 +91,25 @@ class IscsiInitiator(BlockDevice):
 
     def _command(self, op: str, lba: int, count: int, payload: int) -> Generator:
         self.commands_issued += 1
-        yield from self._charge(
-            self.cpu_params.scsi_layer + self.cpu_params.driver_layer
-        )
-        yield from self.rpc.call(
-            op,
-            payload_bytes=payload,
-            header_bytes=self.params.command_header_bytes,
-            lba=lba,
-            count=count,
-        )
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "scsi:" + op, cat="scsi", track="client", lba=lba, count=count,
+            )
+        try:
+            yield from self._charge(
+                self.cpu_params.scsi_layer + self.cpu_params.driver_layer
+            )
+            yield from self.rpc.call(
+                op,
+                payload_bytes=payload,
+                header_bytes=self.params.command_header_bytes,
+                lba=lba,
+                count=count,
+            )
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
         return None
 
     def _charge(self, cost: float) -> Generator:

@@ -14,6 +14,7 @@ from typing import Generator, Optional, Tuple
 from ..core.params import CpuParams
 from ..net.message import Message
 from ..net.rpc import RpcPeer
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Resource, Simulator
 from ..storage.blockdev import BlockDevice
 from . import scsi
@@ -32,10 +33,12 @@ class IscsiTarget:
         cpu: Optional[Resource] = None,
         cpu_params: Optional[CpuParams] = None,
         name: str = "iscsi-target",
+        tracer: Optional[NullTracer] = None,
     ):
         self.sim = sim
         self.volume = volume
         self.rpc = rpc
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cpu = cpu
         self.cpu_params = cpu_params if cpu_params is not None else CpuParams()
         self.name = name
@@ -44,6 +47,16 @@ class IscsiTarget:
 
     def handle(self, message: Message) -> Generator:
         """RPC handler: dispatch one SCSI command to the backing volume."""
+        if self.tracer.enabled:
+            result = yield from self.tracer.wrap(
+                "scsi.serve:" + message.op, self._handle_inner(message),
+                cat="scsi", track="server",
+            )
+            return result
+        result = yield from self._handle_inner(message)
+        return result
+
+    def _handle_inner(self, message: Message) -> Generator:
         self.commands_served += 1
         op = message.op
         body = message.body

@@ -31,6 +31,9 @@ class Message:
     payload_bytes: int = 0
     body: Dict[str, Any] = field(default_factory=dict)
     is_retransmission: bool = False
+    # Observability: id of the tracing span that sent this message (0 when
+    # untraced).  Lets the server parent its work to the client's span.
+    span_id: int = 0
 
     @property
     def size(self) -> int:
@@ -45,6 +48,7 @@ class Message:
             header_bytes=self.header_bytes,
             payload_bytes=payload_bytes,
             body=body,
+            span_id=self.span_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Event, Resource, Simulator
 from .message import Message, REPLY, REQUEST
 from .transport import Endpoint
@@ -81,10 +82,14 @@ class RpcPeer:
         per_byte_cpu: float = 0.0,
         retransmit: Optional[RetransmitPolicy] = None,
         name: str = "rpc",
+        tracer: Optional[NullTracer] = None,
+        track: str = "client",
     ):
         self.sim = sim
         self.endpoint = endpoint
         self._send = send
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track
         self.cpu = cpu
         self.per_message_cpu = per_message_cpu
         self.per_byte_cpu = per_byte_cpu
@@ -121,17 +126,28 @@ class RpcPeer:
             body=body,
         )
         self.calls_issued += 1
-        yield from self._charge(request.size)
-        reply_event = self.sim.event()
-        self._pending[request.xid] = reply_event
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "rpc:" + op, cat="rpc", track=self.track,
+                xid=request.xid, bytes=request.size,
+            )
+            request.span_id = span.id
         try:
-            self._send(request)
-            if self.retransmit is None:
-                reply = yield reply_event
-            else:
-                reply = yield from self._call_with_retries(request, reply_event)
+            yield from self._charge(request.size)
+            reply_event = self.sim.event()
+            self._pending[request.xid] = reply_event
+            try:
+                self._send(request)
+                if self.retransmit is None:
+                    reply = yield reply_event
+                else:
+                    reply = yield from self._call_with_retries(request, reply_event)
+            finally:
+                self._pending.pop(request.xid, None)
         finally:
-            self._pending.pop(request.xid, None)
+            if span is not None:
+                self.tracer.end_span(span)
         return reply
 
     def _call_with_retries(
@@ -156,6 +172,7 @@ class RpcPeer:
                         payload_bytes=request.payload_bytes,
                         body=request.body,
                         is_retransmission=True,
+                        span_id=request.span_id,
                     )
                     reply_event = self.sim.event()
                     self._pending[clone.xid] = reply_event
@@ -168,6 +185,7 @@ class RpcPeer:
                         payload_bytes=request.payload_bytes,
                         body=request.body,
                         is_retransmission=True,
+                        span_id=request.span_id,
                     )
                 current = clone
                 yield from self._charge(clone.size)
@@ -198,6 +216,19 @@ class RpcPeer:
         # else: a duplicate reply for a retransmitted call — dropped.
 
     def _serve(self, message: Message) -> Generator:
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "serve:" + message.op, cat="rpc", track=self.track,
+                parent=message.span_id or None, xid=message.xid,
+            )
+        try:
+            yield from self._serve_inner(message)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
+
+    def _serve_inner(self, message: Message) -> Generator:
         yield from self._charge(message.size)
         cached = self._duplicate_cache.get(message.xid)
         if cached is not None:

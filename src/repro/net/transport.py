@@ -16,6 +16,7 @@ import random
 from typing import Optional
 
 from ..core.counters import MessageCounters
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Simulator, Store
 from .link import Link
 from .message import Message, REPLY, REQUEST
@@ -44,11 +45,13 @@ class DuplexTransport:
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         name: str = "transport",
+        tracer: Optional[NullTracer] = None,
     ):
         if loss_rate and reliable:
             raise ValueError("a reliable transport cannot drop messages")
         self.sim = sim
         self.link = link
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.counters = counters if counters is not None else MessageCounters()
         self.reliable = reliable
         self.loss_rate = loss_rate
@@ -61,11 +64,15 @@ class DuplexTransport:
     def send_from_client(self, message: Message) -> None:
         """Inject ``message`` on the client->server direction."""
         self._count(message)
+        if self.tracer.enabled:
+            self.tracer.message("c2s", message)
         self._deliver(message, self.link.forward, self.server)
 
     def send_from_server(self, message: Message) -> None:
         """Inject ``message`` on the server->client direction."""
         self._count(message)
+        if self.tracer.enabled:
+            self.tracer.message("s2c", message)
         self._deliver(message, self.link.backward, self.client)
 
     # -- internals ------------------------------------------------------------

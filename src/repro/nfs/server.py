@@ -28,6 +28,7 @@ from ..fs.ext3 import Ext3Fs, ROOT_INO
 from ..fs.inode import Inode
 from ..net.message import Message
 from ..net.rpc import RpcPeer
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Resource, Simulator
 from . import protocol as p
 
@@ -84,10 +85,12 @@ class NfsServer:
         cpu_params: Optional[CpuParams] = None,
         state: Optional["ServerState"] = None,
         name: str = "nfsd",
+        tracer: Optional[NullTracer] = None,
     ):
         self.sim = sim
         self.fs = fs
         self.rpc = rpc
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.params = params if params is not None else NfsParams()
         self.cpu_params = cpu_params if cpu_params is not None else CpuParams()
         self.name = name
@@ -130,6 +133,16 @@ class NfsServer:
 
     def handle(self, message: Message) -> Generator:
         """RPC handler: returns ``(reply_payload_bytes, reply_body)``."""
+        if self.tracer.enabled:
+            result = yield from self.tracer.wrap(
+                "nfs:" + message.op, self._handle_inner(message),
+                cat="nfs", track="server",
+            )
+            return result
+        result = yield from self._handle_inner(message)
+        return result
+
+    def _handle_inner(self, message: Message) -> Generator:
         handler = self._dispatch.get(message.op)
         if handler is None:
             return 0, {"status": p.NfsStatus.INVAL, "detail": message.op}

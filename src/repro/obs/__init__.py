@@ -1,0 +1,63 @@
+"""Observability for the simulated testbed: tracing, histograms, vmstat.
+
+The paper observed its live testbed with Ethereal (packet traces),
+``nfsstat`` (per-op counters), and ``vmstat`` (utilization sampling).
+This package is the simulated equivalent of all three:
+
+* :class:`~repro.obs.tracer.Tracer` records protocol messages, causal
+  spans across every layer, point events, latency histograms, and sampled
+  utilization timelines.  The default :data:`~repro.obs.tracer.NULL_TRACER`
+  is a disabled no-op, so untraced runs are bit-identical to the
+  uninstrumented simulator;
+* :mod:`~repro.obs.export` renders a recording as a JSONL packet trace, a
+  per-op summary table, or a Chrome ``trace_event`` file for
+  ``chrome://tracing`` / Perfetto;
+* :class:`~repro.obs.proxy.TracedClient` roots each causal tree at the
+  system call the workload issued.
+
+Build a traced stack with ``make_stack(kind, trace=True)`` and read
+``stack.tracer`` after the run, or use the ``repro trace`` CLI.
+"""
+
+from .export import (
+    chrome_trace,
+    format_op_summary,
+    op_summary,
+    packet_trace_lines,
+    render_span_tree,
+    render_timeline_diff,
+    write_chrome_trace,
+    write_packet_trace,
+)
+from .proxy import SYSCALL_NAMES, TracedClient
+from .tracer import (
+    NULL_TRACER,
+    CounterSample,
+    LatencyHistogram,
+    MessageEvent,
+    NullTracer,
+    PointEvent,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "PointEvent",
+    "MessageEvent",
+    "CounterSample",
+    "LatencyHistogram",
+    "TracedClient",
+    "SYSCALL_NAMES",
+    "chrome_trace",
+    "write_chrome_trace",
+    "packet_trace_lines",
+    "write_packet_trace",
+    "op_summary",
+    "format_op_summary",
+    "render_span_tree",
+    "render_timeline_diff",
+]

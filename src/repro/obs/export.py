@@ -1,0 +1,296 @@
+"""Exporters for :class:`~repro.obs.tracer.Tracer` recordings.
+
+Three output formats, matching the three observation tools of the paper:
+
+* :func:`packet_trace_lines` — a JSONL packet trace, one message per line
+  (the Ethereal capture).  Schema documented in the README's
+  "Observability" section;
+* :func:`op_summary` / :func:`format_op_summary` — a per-op table of
+  message counts, bytes, and latency percentiles (``nfsstat`` plus the
+  paper's Tables 2-4 raw material);
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON format: load the file into ``chrome://tracing`` or
+  https://ui.perfetto.dev to browse spans, messages, and utilization
+  counters on a zoomable timeline.
+
+Plus two textual renderers used by the CLI and the examples:
+:func:`render_span_tree` (causal tree of one or more root spans) and
+:func:`render_timeline_diff` (the side-by-side protocol timeline of the
+same workload replayed on two stacks — Figure 2's methodology as a
+debugging tool).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "packet_trace_lines",
+    "write_packet_trace",
+    "op_summary",
+    "format_op_summary",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_span_tree",
+    "render_timeline_diff",
+]
+
+# Stable process ids for the three Chrome-trace tracks.
+_TRACK_PIDS = {"client": 1, "server": 2, "wire": 3}
+
+
+def _pid(track: str) -> int:
+    return _TRACK_PIDS.get(track, 9)
+
+
+# -- JSONL packet trace -------------------------------------------------------
+
+
+def packet_trace_lines(tracer: Tracer) -> List[str]:
+    """Render the message trace as JSONL (one JSON object per line).
+
+    Each line has: ``t`` (simulated seconds), ``dir`` (``c2s``/``s2c``),
+    ``op``, ``kind`` (``request``/``reply``), ``xid``, ``hdr`` and ``pay``
+    byte counts, ``retrans`` (bool), and ``span`` (the causing span id,
+    0 when the message was sent outside any traced span).
+    """
+    lines = []
+    for msg in tracer.messages:
+        lines.append(json.dumps({
+            "t": round(msg.t, 9),
+            "dir": msg.direction,
+            "op": msg.op,
+            "kind": msg.kind,
+            "xid": msg.xid,
+            "hdr": msg.header_bytes,
+            "pay": msg.payload_bytes,
+            "retrans": msg.retransmission,
+            "span": msg.span_id,
+        }, sort_keys=True))
+    return lines
+
+
+def write_packet_trace(tracer: Tracer, path: str) -> int:
+    """Write the JSONL packet trace to ``path``; returns the line count."""
+    lines = packet_trace_lines(tracer)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+# -- per-op summary -----------------------------------------------------------
+
+
+def op_summary(tracer: Tracer) -> Tuple[List[str], List[List[Any]]]:
+    """Build the per-op summary table: ``(headers, rows)``.
+
+    One row per protocol op seen on the wire: request/reply/retransmission
+    counts, bytes in each direction, and — when the op has a matching
+    ``rpc:<op>`` latency histogram — mean/p50/p95/p99 round-trip times in
+    milliseconds.
+    """
+    per_op: Dict[str, Dict[str, int]] = {}
+    for msg in tracer.messages:
+        row = per_op.setdefault(
+            msg.op, {"req": 0, "rep": 0, "rexmit": 0,
+                     "req_bytes": 0, "rep_bytes": 0})
+        if msg.kind == "request":
+            row["req"] += 1
+            row["req_bytes"] += msg.size
+            if msg.retransmission:
+                row["rexmit"] += 1
+        else:
+            row["rep"] += 1
+            row["rep_bytes"] += msg.size
+    headers = ["op", "reqs", "replies", "rexmit", "req B", "reply B",
+               "mean ms", "p50 ms", "p95 ms", "p99 ms"]
+    rows: List[List[Any]] = []
+    for op in sorted(per_op):
+        row = per_op[op]
+        hist = tracer.histograms.get("rpc:" + op)
+        if hist is None:
+            hist = tracer.histograms.get("scsi:" + op)
+        if hist is not None and hist.count:
+            latency = ["%.3f" % (hist.mean * 1e3),
+                       "%.3f" % (hist.percentile(0.50) * 1e3),
+                       "%.3f" % (hist.percentile(0.95) * 1e3),
+                       "%.3f" % (hist.percentile(0.99) * 1e3)]
+        else:
+            latency = ["-", "-", "-", "-"]
+        rows.append([op, row["req"], row["rep"], row["rexmit"],
+                     row["req_bytes"], row["rep_bytes"]] + latency)
+    return headers, rows
+
+
+def format_op_summary(tracer: Tracer) -> str:
+    """The per-op summary as an aligned text table."""
+    headers, rows = op_summary(tracer)
+    if not rows:
+        return "(no protocol messages recorded)"
+    widths = [max(len(str(headers[i])),
+                  max(len(str(r[i])) for r in rows))
+              for i in range(len(headers))]
+    out = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    out.append("-" * len(out[0]))
+    for row in rows:
+        out.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Render the whole recording in Chrome ``trace_event`` format.
+
+    Tracks (client/server/wire) map to processes, simulator processes to
+    threads.  Spans become complete ("X") events, point events and
+    messages become instants ("i"), utilization samples become counter
+    ("C") series.  Timestamps are simulated microseconds.
+    """
+    events: List[Dict[str, Any]] = []
+    for track, pid in sorted(_TRACK_PIDS.items(), key=lambda kv: kv[1]):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": track}})
+    for tid, name in sorted(tracer.tid_names.items()):
+        for pid in set(_pid(s.track) for s in tracer.spans if s.tid == tid):
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": name}})
+    for span in tracer.spans:
+        args = {str(k): v for k, v in span.args.items()}
+        args["span_id"] = span.id
+        if span.parent is not None:
+            args["parent"] = span.parent
+        events.append({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": max(0.0, (span.end or span.start) - span.start) * 1e6,
+            "pid": _pid(span.track),
+            "tid": span.tid,
+            "args": args,
+        })
+    for point in tracer.events:
+        events.append({
+            "name": point.name,
+            "cat": point.cat,
+            "ph": "i",
+            "s": "p",
+            "ts": point.t * 1e6,
+            "pid": _pid(point.track),
+            "tid": 0,
+            "args": {str(k): v for k, v in point.args.items()},
+        })
+    for msg in tracer.messages:
+        label = "%s %s" % (msg.op, "req" if msg.kind == "request" else "rep")
+        if msg.retransmission:
+            label += " (rexmit)"
+        events.append({
+            "name": label,
+            "cat": "net",
+            "ph": "i",
+            "s": "t",
+            "ts": msg.t * 1e6,
+            "pid": _pid("wire"),
+            "tid": 1 if msg.direction == "c2s" else 2,
+            "args": {"xid": msg.xid, "bytes": msg.size,
+                     "dir": msg.direction, "span": msg.span_id},
+        })
+    if tracer.messages:
+        for tid, name in ((1, "client->server"), (2, "server->client")):
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": _pid("wire"), "tid": tid,
+                           "args": {"name": name}})
+    for sample in tracer.samples:
+        events.append({
+            "name": sample.name,
+            "ph": "C",
+            "ts": sample.t * 1e6,
+            "pid": _pid(sample.track),
+            "tid": 0,
+            "args": {"value": round(sample.value, 6)},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    trace = chrome_trace(tracer)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+# -- textual renderers --------------------------------------------------------
+
+
+def render_span_tree(tracer: Tracer, roots: Optional[Sequence[Span]] = None,
+                     include_args: bool = True) -> str:
+    """Render finished spans as an indented causal tree.
+
+    ``roots`` defaults to every span without a recorded parent.  Each line
+    shows track, name, duration, and (optionally) the span's arguments.
+    """
+    children = tracer.span_children()
+    if roots is None:
+        known = {span.id for span in tracer.spans}
+        roots = [span for span in
+                 sorted(tracer.spans, key=lambda s: (s.start, s.id))
+                 if span.parent is None or span.parent not in known]
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        extra = ""
+        if include_args and span.args:
+            extra = "  " + " ".join(
+                "%s=%s" % (k, v) for k, v in sorted(span.args.items()))
+        lines.append("%9.3fms  %-6s %s%s (%.3fms)%s" % (
+            span.start * 1e3, span.track, "  " * depth, span.name,
+            span.duration * 1e3, extra))
+        for child in children.get(span.id, []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_timeline_diff(tracer_a: Tracer, label_a: str,
+                         tracer_b: Tracer, label_b: str,
+                         limit: int = 0) -> str:
+    """Interleave two packet traces side by side, ordered by time.
+
+    The two stacks replay the same workload on independent simulators, so
+    the traces share a t=0; each line lands in the left or right column by
+    origin.  ``limit`` truncates to the first N messages per side
+    (0 = everything).
+    """
+    def rows(tracer: Tracer, side: int):
+        msgs = tracer.messages[:limit] if limit else tracer.messages
+        for msg in msgs:
+            arrow = "->" if msg.direction == "c2s" else "<-"
+            text = "%s %s %s %dB" % (
+                arrow, msg.op, "req" if msg.kind == "request" else "rep",
+                msg.size)
+            if msg.retransmission:
+                text += " REXMIT"
+            yield (msg.t, side, text)
+
+    merged = sorted(
+        list(rows(tracer_a, 0)) + list(rows(tracer_b, 1)),
+        key=lambda row: (row[0], row[1]))
+    width = max(
+        [len(label_a) + 2] +
+        [len(text) for _t, side, text in merged if side == 0]) + 2
+    lines = ["%12s  %s%s" % ("t (ms)", label_a.ljust(width), label_b),
+             "-" * (14 + width + len(label_b))]
+    for t, side, text in merged:
+        left = text if side == 0 else ""
+        right = text if side == 1 else ""
+        lines.append("%12.3f  %s%s" % (t * 1e3, left.ljust(width), right))
+    return "\n".join(lines)

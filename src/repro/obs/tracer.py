@@ -1,0 +1,431 @@
+"""The tracer: simulated Ethereal + nfsstat + vmstat in one object.
+
+The paper's methodology is built on three observation tools — Ethereal
+packet captures on the wire, ``nfsstat`` per-op counters at the protocol
+layer, and ``vmstat`` utilization sampling on the hosts.  A
+:class:`Tracer` plays all three roles for a simulated run:
+
+* **packet trace** — every protocol message crossing the transport is
+  recorded with direction, op, kind, sizes, and retransmission flag
+  (:class:`MessageEvent`);
+* **causal spans** — each layer brackets its work in a :class:`Span`
+  (syscall -> VFS -> NFS client/RPC or SCSI -> server -> RAID -> disk).
+  Spans carry parent ids, so one syscall's fan-out across processes and
+  hosts is reconstructable as a tree;
+* **point events** — cache hits/misses, journal commits, and similar
+  instantaneous facts (:class:`PointEvent`);
+* **latency histograms** — every finished span feeds a fixed-bucket
+  :class:`LatencyHistogram` keyed by span name (p50/p95/p99 per op);
+* **utilization timelines** — registered probes (host CPUs, link bytes,
+  disk queue depth) are sampled on a fixed interval into
+  :class:`CounterSample` rows — the vmstat column of Tables 9/10 as a
+  time series.
+
+The default tracer everywhere is :data:`NULL_TRACER`, a singleton whose
+``enabled`` attribute is ``False`` and whose methods do nothing.  Hot
+paths guard instrumentation with ``if tracer.enabled:`` so an untraced
+run executes the exact same event sequence as before the tracer existed.
+
+Causality rules
+---------------
+Span parentage is resolved per simulator *process*: each process keeps a
+stack of open spans, and a new span's parent is the innermost open span
+of the process that begins it.  Two explicit escape hatches cross process
+boundaries:
+
+* a spawned process may carry a ``trace_parent`` attribute (set by the
+  spawner, e.g. the RAID fan-out) that seeds its stack's parent;
+* a :class:`~repro.net.message.Message` carries ``span_id``, so the
+  server-side ``serve`` span is parented to the client-side call span —
+  causality across the wire, as Ethereal's request/reply matching.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..sim import Simulator
+
+__all__ = [
+    "Span",
+    "PointEvent",
+    "MessageEvent",
+    "CounterSample",
+    "LatencyHistogram",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+
+class Span:
+    """One timed, causally-linked interval of work in some layer."""
+
+    __slots__ = ("id", "name", "cat", "track", "parent", "tid", "process",
+                 "start", "end", "args", "proc_ref")
+
+    def __init__(self, span_id: int, name: str, cat: str, track: str,
+                 parent: Optional[int], tid: int, process: str,
+                 start: float, args: Dict[str, Any]):
+        self.id = span_id
+        self.proc_ref: Any = None   # owning simulator process (internal)
+        self.name = name
+        self.cat = cat
+        self.track = track          # "client" | "server" | "wire"
+        self.parent = parent        # id of the enclosing span, or None
+        self.tid = tid              # stable per-process lane for exporters
+        self.process = process      # simulator process name
+        self.start = start
+        self.end: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Span #%d %s [%s] %.6f..%s>" % (
+            self.id, self.name, self.track, self.start,
+            "open" if self.end is None else "%.6f" % self.end)
+
+
+class PointEvent:
+    """An instantaneous fact (cache hit, journal commit, ...)."""
+
+    __slots__ = ("t", "name", "cat", "track", "args")
+
+    def __init__(self, t: float, name: str, cat: str, track: str,
+                 args: Dict[str, Any]):
+        self.t = t
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.args = args
+
+
+class MessageEvent:
+    """One protocol message observed on the wire (an Ethereal row)."""
+
+    __slots__ = ("t", "direction", "op", "kind", "header_bytes",
+                 "payload_bytes", "xid", "retransmission", "span_id")
+
+    def __init__(self, t: float, direction: str, op: str, kind: str,
+                 header_bytes: int, payload_bytes: int, xid: int,
+                 retransmission: bool, span_id: int):
+        self.t = t
+        self.direction = direction  # "c2s" | "s2c"
+        self.op = op
+        self.kind = kind            # "request" | "reply"
+        self.header_bytes = header_bytes
+        self.payload_bytes = payload_bytes
+        self.xid = xid
+        self.retransmission = retransmission
+        self.span_id = span_id
+
+    @property
+    def size(self) -> int:
+        """Total on-the-wire bytes of this message."""
+        return self.header_bytes + self.payload_bytes
+
+
+class CounterSample:
+    """One sampled utilization/queue value (a vmstat row)."""
+
+    __slots__ = ("t", "name", "track", "value")
+
+    def __init__(self, t: float, name: str, track: str, value: float):
+        self.t = t
+        self.name = name
+        self.track = track
+        self.value = value
+
+
+class LatencyHistogram:
+    """Fixed geometric buckets over latencies, 1 us to ~2 minutes.
+
+    Buckets double from 1 microsecond; values beyond the last edge land in
+    an overflow bucket.  Percentiles are answered from the cumulative
+    counts (upper bucket edge), which bounds the error to one bucket
+    width — the standard fixed-bucket trade-off.
+    """
+
+    EDGES: Tuple[float, ...] = tuple(1e-6 * (2.0 ** i) for i in range(28))
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (len(self.EDGES) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (in simulated seconds)."""
+        index = 0
+        for index, edge in enumerate(self.EDGES):
+            if seconds <= edge:
+                break
+        else:
+            index = len(self.EDGES)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given fraction (0.5 = p50), from bucket edges."""
+        if not self.count:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target and count:
+                if index < len(self.EDGES):
+                    return self.EDGES[index]
+                return self.max if self.max is not None else self.EDGES[-1]
+        return self.max if self.max is not None else 0.0
+
+
+class NullTracer:
+    """The zero-overhead default: records nothing, always disabled.
+
+    Components hold a tracer unconditionally and guard instrumentation
+    with ``if tracer.enabled:``; with this singleton in place no code path
+    differs from an uninstrumented build.
+    """
+
+    enabled = False
+
+    def begin_span(self, name: str, cat: str = "span", track: str = "client",
+                   parent: Optional[int] = None, **args: Any) -> None:
+        """No-op; returns ``None`` so ``end_span`` guards stay cheap."""
+        return None
+
+    def end_span(self, span: Optional[Span], **args: Any) -> None:
+        """No-op."""
+
+    def instant(self, name: str, cat: str = "event", track: str = "client",
+                **args: Any) -> None:
+        """No-op."""
+
+    def message(self, direction: str, msg: Any) -> None:
+        """No-op."""
+
+    def current_span_id(self) -> Optional[int]:
+        """No span context when tracing is off."""
+        return None
+
+    def wrap(self, name: str, gen: Generator, cat: str = "span",
+             track: str = "client", **args: Any) -> Generator:
+        """Run ``gen`` unchanged (no span recorded)."""
+        result = yield from gen
+        return result
+
+    def add_probe(self, name: str, fn: Callable[[], float],
+                  kind: str = "gauge", track: str = "client",
+                  scale: float = 1.0) -> None:
+        """No-op."""
+
+    def start_sampling(self, interval: float = 0.01) -> None:
+        """No-op."""
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """The recording tracer (see module docstring for the data model)."""
+
+    enabled = True
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spans: List[Span] = []          # finished spans, end order
+        self.events: List[PointEvent] = []
+        self.messages: List[MessageEvent] = []
+        self.samples: List[CounterSample] = []
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self._ids = itertools.count(1)
+        self._stacks: Dict[Any, List[Span]] = {}    # process -> open spans
+        self._tids: Dict[Any, int] = {}             # process -> lane id
+        self.tid_names: Dict[int, str] = {0: "main"}
+        self._probes: List[Tuple[str, Callable[[], float], str, str, float]] = []
+        self._sampler = None
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin_span(self, name: str, cat: str = "span", track: str = "client",
+                   parent: Optional[int] = None, **args: Any) -> Span:
+        """Open a span; parent defaults to the current process's innermost
+        open span (or its ``trace_parent`` attribute when none is open)."""
+        proc = getattr(self.sim, "_active_process", None)
+        stack = self._stacks.get(proc)
+        if parent is None:
+            if stack:
+                parent = stack[-1].id
+            elif proc is not None:
+                parent = getattr(proc, "trace_parent", None)
+        span = Span(
+            next(self._ids), name, cat, track, parent,
+            self._tid_for(proc), getattr(proc, "name", "main"),
+            self.sim.now, args,
+        )
+        span.proc_ref = proc
+        if stack is None:
+            stack = self._stacks[proc] = []
+        stack.append(span)
+        return span
+
+    def end_span(self, span: Optional[Span], **args: Any) -> None:
+        """Close ``span``, record it, and feed its latency histogram."""
+        if span is None or span.end is not None:
+            return
+        span.end = self.sim.now
+        if args:
+            span.args.update(args)
+        stack = self._stacks.get(span.proc_ref)
+        if stack is not None:
+            if span in stack:
+                stack.remove(span)
+            if not stack:
+                self._stacks.pop(span.proc_ref, None)
+        self.spans.append(span)
+        hist = self.histograms.get(span.name)
+        if hist is None:
+            hist = self.histograms[span.name] = LatencyHistogram()
+        hist.record(span.end - span.start)
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the active process's innermost open span (or ``None``).
+
+        Used by layers that spawn concurrent sub-processes (RAID fan-out,
+        write-back) to seed the children's ``trace_parent``.
+        """
+        proc = getattr(self.sim, "_active_process", None)
+        stack = self._stacks.get(proc)
+        if stack:
+            return stack[-1].id
+        if proc is not None:
+            return getattr(proc, "trace_parent", None)
+        return None
+
+    def wrap(self, name: str, gen: Generator, cat: str = "span",
+             track: str = "client", **args: Any) -> Generator:
+        """Coroutine: drive ``gen`` to completion under a span."""
+        span = self.begin_span(name, cat=cat, track=track, **args)
+        try:
+            result = yield from gen
+        finally:
+            self.end_span(span)
+        return result
+
+    # -- point events / packet trace ------------------------------------------
+
+    def instant(self, name: str, cat: str = "event", track: str = "client",
+                **args: Any) -> None:
+        """Record an instantaneous event at the current simulated time."""
+        self.events.append(PointEvent(self.sim.now, name, cat, track, args))
+
+    def message(self, direction: str, msg: Any) -> None:
+        """Record one protocol message entering the wire (Ethereal row)."""
+        self.messages.append(MessageEvent(
+            self.sim.now, direction, msg.op, msg.kind,
+            msg.header_bytes, msg.payload_bytes, msg.xid,
+            msg.is_retransmission, getattr(msg, "span_id", 0),
+        ))
+
+    # -- utilization sampling ---------------------------------------------------
+
+    def add_probe(self, name: str, fn: Callable[[], float],
+                  kind: str = "gauge", track: str = "client",
+                  scale: float = 1.0) -> None:
+        """Register a sampled metric.
+
+        ``kind`` is ``"gauge"`` (record ``fn()`` as-is, e.g. queue depth),
+        ``"cumulative"`` (record the per-second rate of change of a
+        monotonically growing total, clamped at 0 so a window reset cannot
+        produce negative samples — utilization from busy-time counters),
+        or ``"rate"`` (like cumulative but without the 0..1 meaning, e.g.
+        link bytes/s).  ``scale`` multiplies the recorded value.
+        """
+        if kind not in ("gauge", "cumulative", "rate"):
+            raise ValueError("unknown probe kind %r" % (kind,))
+        self._probes.append((name, fn, kind, track, scale))
+
+    def start_sampling(self, interval: float = 0.01) -> None:
+        """Spawn the background sampler (idempotent)."""
+        if self._sampler is not None or not self._probes:
+            return
+        self._sampler = self.sim.spawn(
+            self._sample_loop(interval), name="tracer.sampler")
+
+    def _sample_loop(self, interval: float) -> Generator:
+        last: Dict[str, float] = {}
+        for name, fn, kind, _track, _scale in self._probes:
+            if kind != "gauge":
+                last[name] = fn()
+        last_t = self.sim.now
+        while True:
+            yield self.sim.timeout(interval)
+            now = self.sim.now
+            dt = now - last_t
+            last_t = now
+            for name, fn, kind, track, scale in self._probes:
+                value = fn()
+                if kind != "gauge":
+                    previous = last[name]
+                    last[name] = value
+                    if dt <= 0:
+                        continue
+                    value = max(0.0, value - previous) / dt
+                self.samples.append(
+                    CounterSample(now, name, track, value * scale))
+
+    # -- queries ------------------------------------------------------------------
+
+    def span_children(self) -> Dict[Optional[int], List[Span]]:
+        """Map parent-id -> children (finished spans only), start-ordered."""
+        children: Dict[Optional[int], List[Span]] = {}
+        for span in sorted(self.spans, key=lambda s: (s.start, s.id)):
+            children.setdefault(span.parent, []).append(span)
+        return children
+
+    def subtree(self, root: Span) -> List[Span]:
+        """``root`` plus every finished descendant, preorder."""
+        children = self.span_children()
+        out: List[Span] = []
+
+        def walk(span: Span) -> None:
+            out.append(span)
+            for child in children.get(span.id, []):
+                walk(child)
+
+        walk(root)
+        return out
+
+    def find_spans(self, name: str) -> List[Span]:
+        """All finished spans with the given name, in end order."""
+        return [span for span in self.spans if span.name == name]
+
+    # -- internals ------------------------------------------------------------------
+
+    def _tid_for(self, proc: Any) -> int:
+        if proc is None:
+            return 0
+        tid = self._tids.get(proc)
+        if tid is None:
+            tid = self._tids[proc] = len(self._tids) + 1
+            self.tid_names[tid] = getattr(proc, "name", "process")
+        return tid

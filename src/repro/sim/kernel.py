@@ -167,17 +167,25 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
+        # Expose the running process (observability: span parenting keys
+        # off the process whose frame is currently executing).
+        sim = self.sim
+        previous = sim._active_process
+        sim._active_process = self
         try:
-            if exc is not None:
-                target = self._generator.throw(exc)
-            else:
-                target = self._generator.send(value)
-        except StopIteration as stop:
-            self.trigger(stop.value)
-            return
-        except BaseException as error:
-            self.fail(error)
-            return
+            try:
+                if exc is not None:
+                    target = self._generator.throw(exc)
+                else:
+                    target = self._generator.send(value)
+            except StopIteration as stop:
+                self.trigger(stop.value)
+                return
+            except BaseException as error:
+                self.fail(error)
+                return
+        finally:
+            sim._active_process = previous
         if not isinstance(target, Event):
             self.fail(
                 TypeError(
@@ -266,6 +274,7 @@ class Simulator:
         self._calendar: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._unhandled: List[Event] = []
+        self._active_process: Optional["Process"] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -343,8 +352,15 @@ class Simulator:
     def _raise_unhandled(self) -> None:
         if not self._unhandled:
             return
-        event = self._unhandled[0]
+        # A failure recorded at processing time may have been handled
+        # *afterwards* by a late waiter (Event.add_callback on an already-
+        # processed event): the waiter defuses it, so it no longer counts
+        # as unhandled.
+        pending = [event for event in self._unhandled if not event.defused]
         self._unhandled = []
+        if not pending:
+            return
+        event = pending[0]
         if isinstance(event.value, BaseException):
             raise event.value
         raise SimulationError("unhandled event failure: %r" % (event.value,))

@@ -20,6 +20,7 @@ import math
 from typing import Generator
 
 from ..core.params import DiskParams
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Resource, Simulator
 from .blockdev import BlockDevice
 
@@ -35,6 +36,7 @@ class Disk(BlockDevice):
         params: DiskParams = None,
         nblocks: int = None,
         name: str = "disk",
+        tracer: NullTracer = None,
     ):
         self.params = params if params is not None else DiskParams()
         super().__init__(
@@ -42,6 +44,7 @@ class Disk(BlockDevice):
             name=name,
         )
         self.sim = sim
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.queue = Resource(sim, capacity=1, name=name + ".queue")
         self._head = 0  # block number just past the last access
         self.busy_time = 0.0
@@ -64,15 +67,27 @@ class Disk(BlockDevice):
 
     def _access(self, start: int, count: int, is_write: bool = False) -> Generator:
         self.check_range(start, count)
-        yield from self.queue.acquire()
+        span = None
+        if self.tracer.enabled:
+            # Begun before queueing so the span length includes queue wait.
+            span = self.tracer.begin_span(
+                "disk." + ("write" if is_write else "read"),
+                cat="disk", track="server", dev=self.name,
+                start=start, count=count, qdepth=self.queue.queue_length,
+            )
         try:
-            service = self.service_time(start, count, is_write)
-            if not (is_write and self.params.write_back_cache):
-                self._head = start + count
-            self.busy_time += service
-            yield self.sim.timeout(service)
+            yield from self.queue.acquire()
+            try:
+                service = self.service_time(start, count, is_write)
+                if not (is_write and self.params.write_back_cache):
+                    self._head = start + count
+                self.busy_time += service
+                yield self.sim.timeout(service)
+            finally:
+                self.queue.release()
         finally:
-            self.queue.release()
+            if span is not None:
+                self.tracer.end_span(span)
         return None
 
     # -- BlockDevice interface ---------------------------------------------------

@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Tuple
 
 from ..core.params import DiskParams, RaidParams
-from ..sim import Resource, Simulator
+from ..obs.tracer import NULL_TRACER, NullTracer
+from ..sim import Process, Resource, Simulator
 from .blockdev import BlockDevice
 from .disk import Disk
 
@@ -41,12 +42,16 @@ class Raid5Volume(BlockDevice):
         parity_cpu_per_byte: float = 0.0,
         io_cpu: float = 0.0,
         name: str = "raid5",
+        tracer: Optional[NullTracer] = None,
     ):
         self.raid = raid_params if raid_params is not None else RaidParams()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         disk_params = disk_params if disk_params is not None else DiskParams()
         ndisks = self.raid.data_disks + 1
         self.disks: List[Disk] = [
-            Disk(sim, disk_params, name="%s.disk%d" % (name, i)) for i in range(ndisks)
+            Disk(sim, disk_params, name="%s.disk%d" % (name, i),
+                 tracer=self.tracer)
+            for i in range(ndisks)
         ]
         data_blocks = self.raid.data_disks * disk_params.capacity_blocks
         super().__init__(data_blocks, name=name)
@@ -106,30 +111,58 @@ class Raid5Volume(BlockDevice):
 
     # -- I/O -------------------------------------------------------------------------
 
+    def _spawn_io(self, generator: Generator) -> Process:
+        """Spawn a per-disk job, carrying span parentage across processes."""
+        job = self.sim.spawn(generator)
+        if self.tracer.enabled:
+            job.trace_parent = self.tracer.current_span_id()
+        return job
+
     def read(self, start: int, count: int = 1) -> Generator:
         """Coroutine: read ``count`` blocks, striped across the spindles."""
         self.check_range(start, count)
-        if self.cpu is not None and self.io_cpu > 0:
-            yield from self.cpu.use(self.io_cpu)
-        runs = self._split_runs(start, count)
-        jobs = [
-            self.sim.spawn(self.disks[disk].read(physical, length))
-            for disk, physical, length in runs
-        ]
-        yield self.sim.all_of(jobs)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "raid.read", cat="raid", track="server",
+                start=start, count=count,
+            )
+        try:
+            if self.cpu is not None and self.io_cpu > 0:
+                yield from self.cpu.use(self.io_cpu)
+            runs = self._split_runs(start, count)
+            jobs = [
+                self._spawn_io(self.disks[disk].read(physical, length))
+                for disk, physical, length in runs
+            ]
+            yield self.sim.all_of(jobs)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
         self.stats.note_read(count)
         return None
 
     def write(self, start: int, count: int = 1) -> Generator:
         """Coroutine: write ``count`` blocks (full-stripe or RMW path)."""
         self.check_range(start, count)
-        if self.cpu is not None and self.io_cpu > 0:
-            yield from self.cpu.use(self.io_cpu)
-        yield from self._charge_parity(count)
-        if self._row_span(start, count):
-            yield from self._full_stripe_write(start, count)
-        else:
-            yield from self._small_write(start, count)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "raid.write", cat="raid", track="server",
+                start=start, count=count,
+                full_stripe=self._row_span(start, count),
+            )
+        try:
+            if self.cpu is not None and self.io_cpu > 0:
+                yield from self.cpu.use(self.io_cpu)
+            yield from self._charge_parity(count)
+            if self._row_span(start, count):
+                yield from self._full_stripe_write(start, count)
+            else:
+                yield from self._small_write(start, count)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span)
         self.stats.note_write(count)
         return None
 
@@ -137,7 +170,7 @@ class Raid5Volume(BlockDevice):
         """Write data + freshly computed parity, all spindles in parallel."""
         runs = self._split_runs(start, count)
         jobs = [
-            self.sim.spawn(self.disks[disk].write(physical, length))
+            self._spawn_io(self.disks[disk].write(physical, length))
             for disk, physical, length in runs
         ]
         # One parity write per stripe row, same extent shape as a data run.
@@ -146,7 +179,7 @@ class Raid5Volume(BlockDevice):
         for row_start in range(start, start + count, row_blocks):
             parity_disk = self.parity_disk_for(row_start)
             _disk, physical = self.locate(row_start)
-            jobs.append(self.sim.spawn(self.disks[parity_disk].write(physical, unit)))
+            jobs.append(self._spawn_io(self.disks[parity_disk].write(physical, unit)))
         yield self.sim.all_of(jobs)
         return None
 
@@ -160,17 +193,17 @@ class Raid5Volume(BlockDevice):
         runs = self._split_runs(start, count)
         if self.disks[0].params.write_back_cache:
             jobs = [
-                self.sim.spawn(self.disks[disk].write(physical, length))
+                self._spawn_io(self.disks[disk].write(physical, length))
                 for disk, physical, length in runs
             ]
             parity_disk = self.parity_disk_for(start)
             _disk, physical = self.locate(start)
-            jobs.append(self.sim.spawn(self.disks[parity_disk].write(physical, runs[0][2])))
+            jobs.append(self._spawn_io(self.disks[parity_disk].write(physical, runs[0][2])))
             yield self.sim.all_of(jobs)
             return None
         reads = []
         for disk, physical, length in runs:
-            reads.append(self.sim.spawn(self.disks[disk].read(physical, length)))
+            reads.append(self._spawn_io(self.disks[disk].read(physical, length)))
         parity_reads = {}
         for run_index, (disk, physical, length) in enumerate(runs):
             logical = start if run_index == 0 else None
@@ -181,14 +214,14 @@ class Raid5Volume(BlockDevice):
             key = (parity_disk, physical)
             if key not in parity_reads:
                 parity_reads[key] = (parity_disk, physical, length)
-                reads.append(self.sim.spawn(self.disks[parity_disk].read(physical, length)))
+                reads.append(self._spawn_io(self.disks[parity_disk].read(physical, length)))
         yield self.sim.all_of(reads)
         writes = [
-            self.sim.spawn(self.disks[disk].write(physical, length))
+            self._spawn_io(self.disks[disk].write(physical, length))
             for disk, physical, length in runs
         ]
         for parity_disk, physical, length in parity_reads.values():
-            writes.append(self.sim.spawn(self.disks[parity_disk].write(physical, length)))
+            writes.append(self._spawn_io(self.disks[parity_disk].write(physical, length)))
         yield self.sim.all_of(writes)
         return None
 

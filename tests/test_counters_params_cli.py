@@ -60,6 +60,66 @@ def test_counter_reset():
     assert not counters.by_op
 
 
+def test_retransmits_by_op_tracked_per_op():
+    counters = MessageCounters()
+    counters.count_request("WRITE", 100)
+    counters.count_retransmission("WRITE", 100)
+    counters.count_retransmission("WRITE", 100)
+    counters.count_retransmission("READ", 50)
+    snap = counters.snapshot()
+    assert snap.retransmits_by_op == {"WRITE": 2, "READ": 1}
+    assert snap.retransmissions == 3
+
+
+def test_reply_bytes_by_op_tracked_per_op():
+    counters = MessageCounters()
+    counters.count_request("READ", 128)
+    counters.count_reply("READ", 4096)
+    counters.count_reply("READ", 4096)
+    counters.count_reply("GETATTR", 224)
+    snap = counters.snapshot()
+    assert snap.reply_bytes_by_op == {"READ": 8192, "GETATTR": 224}
+    assert snap.bytes_received == 8416
+
+
+def test_delta_subtracts_new_per_op_dicts():
+    counters = MessageCounters()
+    counters.count_reply("READ", 100)
+    counters.count_retransmission("WRITE", 10)
+    snap = counters.snapshot()
+    counters.count_reply("READ", 50)
+    counters.count_reply("WRITE", 25)
+    counters.count_retransmission("WRITE", 10)
+    delta = counters.delta(snap)
+    assert delta.reply_bytes_by_op == {"READ": 50, "WRITE": 25}
+    assert delta.retransmits_by_op == {"WRITE": 1}
+    # A second snapshot minus the first must agree with the delta.
+    again = counters.snapshot() - snap
+    assert again.reply_bytes_by_op == delta.reply_bytes_by_op
+    assert again.retransmits_by_op == delta.retransmits_by_op
+
+
+def test_delta_drops_zero_entries_in_per_op_dicts():
+    counters = MessageCounters()
+    counters.count_reply("READ", 100)
+    counters.count_retransmission("READ", 100)
+    snap = counters.snapshot()
+    counters.count_reply("WRITE", 5)
+    delta = counters.delta(snap)
+    assert "READ" not in delta.reply_bytes_by_op
+    assert "READ" not in delta.retransmits_by_op
+    assert delta.reply_bytes_by_op == {"WRITE": 5}
+
+
+def test_reset_clears_new_per_op_dicts():
+    counters = MessageCounters()
+    counters.count_reply("READ", 100)
+    counters.count_retransmission("READ", 100)
+    counters.reset()
+    assert not counters.reply_bytes_by_op
+    assert not counters.retransmits_by_op
+
+
 # ---------------------------------------------------------------- params
 
 def test_params_for_version_defaults():

@@ -11,6 +11,7 @@ import repro.fs
 import repro.iscsi
 import repro.net
 import repro.nfs
+import repro.obs
 import repro.sim
 import repro.storage
 import repro.traces
@@ -20,6 +21,7 @@ import repro.workloads
 ALL_PACKAGES = [
     repro, repro.sim, repro.net, repro.storage, repro.cache, repro.fs,
     repro.nfs, repro.iscsi, repro.core, repro.workloads, repro.traces,
+    repro.obs,
 ]
 
 

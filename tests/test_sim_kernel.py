@@ -105,6 +105,52 @@ def test_event_failure_propagates(sim):
     assert proc.ok is False
 
 
+def test_late_waiter_defuses_already_failed_event(sim):
+    # Regression: an event that fails with nobody waiting is recorded as
+    # unhandled; a waiter that attaches *after* the failure was processed
+    # still defuses it, so the run must not re-raise at the end.
+    gate = sim.event()
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    def late_waiter():
+        yield sim.timeout(2)
+        try:
+            yield gate
+        except ValueError:
+            return "handled"
+        return "missed"
+
+    sim.spawn(failer())
+    proc = sim.spawn(late_waiter())
+    sim.run()
+    assert proc.value == "handled"
+    assert gate.defused
+
+
+def test_late_non_defusing_callback_keeps_failure_fatal(sim):
+    # A late add_callback that merely observes the event must not swallow
+    # the failure: nobody defused it, so the run still raises.
+    gate = sim.event()
+    seen = []
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    def observer():
+        yield sim.timeout(2)
+        gate.add_callback(lambda event: seen.append(event.ok))
+
+    sim.spawn(failer())
+    sim.spawn(observer())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+    assert seen == [False]
+
+
 def test_unhandled_failure_raises(sim):
     def bad():
         yield sim.timeout(1)
@@ -199,6 +245,64 @@ def test_run_until_stops_clock(sim):
     sim.spawn(forever())
     sim.run(until=5.5)
     assert sim.now == 5.5
+
+
+def test_run_until_advances_clock_on_empty_calendar(sim):
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_run_until_leaves_future_events_pending(sim):
+    fired = []
+
+    def waiter():
+        yield sim.timeout(10)
+        fired.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert fired == []
+    # The pending event survives the pause and fires on the next run.
+    sim.run()
+    assert fired == [10.0]
+    assert sim.now == 10.0
+
+
+def test_run_until_fires_events_at_exactly_until(sim):
+    fired = []
+
+    def waiter():
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run(until=5.0)
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_utilization_reset_window_mid_acquisition(sim):
+    from repro.sim import Resource
+
+    resource = Resource(sim, capacity=1)
+
+    def worker():
+        yield from resource.acquire()
+        yield sim.timeout(10.0)
+        resource.release()
+
+    def observer():
+        yield sim.timeout(4.0)
+        resource.tracker.reset_window()
+        yield sim.timeout(3.0)
+        # The unit has been continuously in service across the reset, so
+        # the new window is 100% busy.
+        return resource.tracker.utilization()
+
+    sim.spawn(worker())
+    utilization = sim.run_process(observer())
+    assert utilization == pytest.approx(1.0)
 
 
 def test_deadlock_detected(sim):
