@@ -11,10 +11,16 @@ Usage::
     python -m repro fig7
     python -m repro sec7
     python -m repro quick
+    python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
+    python -m repro bench [--suite quick] [--out FILE]
+    python -m repro bench --compare OLD.json NEW.json [--tolerance 0.15]
 
-Each subcommand runs the corresponding experiment at a tractable scale and
-prints the same rows the paper reports.  For the asserted paper-vs-measured
-comparison, run the pytest benchmarks instead (see README).
+Each artifact subcommand runs the corresponding experiment at a tractable
+scale and prints the same rows the paper reports; ``trace`` records and
+exports a run, ``bench`` runs the regression suites (see the README's
+"Profiling & benchmarking" section).  ``repro list`` enumerates every
+subcommand.  For the asserted paper-vs-measured comparison, run the
+pytest benchmarks instead (see README).
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import sys
 from typing import List, Optional
 
 from .core.comparison import STACK_KINDS, make_stack
+from .obs.bench import SUITES as BENCH_SUITES
+from .obs.bench import WORKLOADS as TRACE_WORKLOADS
 
 
 def _print_table(headers, rows):
@@ -37,10 +45,23 @@ def _print_table(headers, rows):
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
 
 
+def iter_subcommands() -> List[str]:
+    """Every registered CLI subcommand, sorted (the discoverability
+    contract checked by ``tests/test_public_api.py``)."""
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return sorted(action.choices)
+    return []
+
+
 def cmd_list(_args) -> int:
     print("stacks:     %s" % ", ".join(STACK_KINDS))
     print("artifacts:  table2 table3 table4 table5 table6 table7 table8")
     print("            table9 table10 fig3 fig4 fig5 fig6 fig7 sec7 quick")
+    print("tools:      trace (record/export a run)  "
+          "bench (regression suites)")
+    print("commands:   %s" % " ".join(iter_subcommands()))
     return 0
 
 
@@ -271,96 +292,8 @@ def cmd_sec7(_args) -> int:
 
 
 # -- trace: the simulated-Ethereal front end ------------------------------------------
-
-
-def _workload_smoke(client):
-    """A handful of syscalls touching every layer once."""
-    yield from client.mkdir("/d")
-    fd = yield from client.creat("/d/f")
-    yield from client.write(fd, 16_384)
-    yield from client.fsync(fd)
-    yield from client.pread(fd, 4096, 0)
-    yield from client.close(fd)
-    yield from client.stat("/d/f")
-
-
-def _workload_postmark(client, files=20, transactions=60, seed=42):
-    """A small PostMark-like mix: create pool, transact, delete pool."""
-    import random
-
-    from .fs.vfs import O_RDWR
-
-    rng = random.Random(seed)
-    yield from client.mkdir("/pm")
-    names = []
-    for index in range(files):
-        name = "/pm/f%03d" % index
-        fd = yield from client.creat(name)
-        yield from client.pwrite(fd, rng.randrange(512, 16_384), 0)
-        yield from client.close(fd)
-        names.append(name)
-    serial = files
-    for _ in range(transactions):
-        choice = rng.randrange(4)
-        if choice == 0 and names:  # read a whole file
-            fd = yield from client.open(rng.choice(names))
-            attrs = yield from client.fstat(fd)
-            yield from client.pread(fd, attrs.size, 0)
-            yield from client.close(fd)
-        elif choice == 1 and names:  # append
-            fd = yield from client.open(rng.choice(names), O_RDWR)
-            attrs = yield from client.fstat(fd)
-            yield from client.pwrite(fd, rng.randrange(512, 8192), attrs.size)
-            yield from client.close(fd)
-        elif choice == 2:  # create
-            name = "/pm/f%03d" % serial
-            serial += 1
-            fd = yield from client.creat(name)
-            yield from client.pwrite(fd, rng.randrange(512, 16_384), 0)
-            yield from client.close(fd)
-            names.append(name)
-        elif names:  # delete
-            victim = names.pop(rng.randrange(len(names)))
-            yield from client.unlink(victim)
-    for name in names:
-        yield from client.unlink(name)
-    yield from client.rmdir("/pm")
-
-
-def _make_io_workload(sequential: bool, write: bool, file_mb: int = 2):
-    """Sequential/random whole-file reader or writer over 64 KB requests."""
-
-    def workload(client):
-        import random
-
-        from .fs.vfs import O_RDWR
-
-        request = 64 * 1024
-        size = file_mb * 1024 * 1024
-        offsets = list(range(0, size, request))
-        fd = yield from client.creat("/io")
-        yield from client.pwrite(fd, size, 0)
-        yield from client.fsync(fd)
-        if not sequential:
-            random.Random(7).shuffle(offsets)
-        for offset in offsets:
-            if write:
-                yield from client.pwrite(fd, request, offset)
-            else:
-                yield from client.pread(fd, request, offset)
-        yield from client.close(fd)
-
-    return workload
-
-
-TRACE_WORKLOADS = {
-    "smoke": _workload_smoke,
-    "postmark": _workload_postmark,
-    "seqread": _make_io_workload(sequential=True, write=False),
-    "randread": _make_io_workload(sequential=False, write=False),
-    "seqwrite": _make_io_workload(sequential=True, write=True),
-    "randwrite": _make_io_workload(sequential=False, write=True),
-}
+# The workload drivers are shared with `repro bench` and live in
+# repro.obs.bench (imported above as TRACE_WORKLOADS).
 
 
 def _run_traced(kind: str, workload: str):
@@ -398,6 +331,34 @@ def cmd_trace(args) -> int:
         stack.now * 1000))
     print()
     print(format_op_summary(tracer))
+    return 0
+
+
+# -- bench: the regression harness ----------------------------------------------------
+
+
+def cmd_bench(args) -> int:
+    from .obs import bench
+
+    if args.compare:
+        baseline = bench.load_bench(args.compare[0])
+        current = bench.load_bench(args.compare[1])
+        regressions, notes = bench.compare(
+            baseline, current, tolerance=args.tolerance)
+        print(bench.format_compare(regressions, notes))
+        return 1 if regressions else 0
+    result = bench.run_suite(args.suite)
+    rows = []
+    for case in sorted(result["cases"]):
+        record = result["cases"][case]
+        rows.append([case, "%.3fs" % record["completion_time_s"],
+                     record["messages"],
+                     "%.1fMB" % (record["bytes"] / 1e6)])
+    print("suite %r (schema %d)" % (args.suite, result["schema"]))
+    _print_table(["case", "time", "messages", "bytes"], rows)
+    out = args.out or ("BENCH_%s.json" % args.suite)
+    bench.write_bench(result, out)
+    print("\nwrote %s" % out)
     return 0
 
 
@@ -482,6 +443,23 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--limit", type=int, default=60,
                     help="max rows in --diff output (0 = all)")
     tr.set_defaults(func=cmd_trace)
+
+    be = sub.add_parser(
+        "bench",
+        help="run a benchmark suite to BENCH_<suite>.json, or compare "
+             "two result files for regressions",
+    )
+    be.add_argument("--suite", choices=sorted(BENCH_SUITES),
+                    default="quick")
+    be.add_argument("--out", metavar="FILE",
+                    help="output path (default BENCH_<suite>.json)")
+    be.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                    help="compare two BENCH_*.json files instead of "
+                         "running; exits 1 on regression")
+    be.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional completion-time growth "
+                         "(default 0.15; message counts must be exact)")
+    be.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -324,6 +324,18 @@ class StorageStack:
 
     # -- measurement ------------------------------------------------------------------
 
+    def resources(self):
+        """Every contended resource in the testbed, client to spindles.
+
+        The list feeds the queueing analytics in :mod:`repro.obs.profile`
+        (each entry carries a live
+        :class:`~repro.sim.stats.ResourceStats` as ``.stats``): both host
+        CPUs, then every disk queue of the RAID array.
+        """
+        out = [self.client_host.cpu, self.server_host.cpu]
+        out.extend(disk.queue for disk in self.raid.disks)
+        return out
+
     def snapshot(self) -> CountersSnapshot:
         """Return an immutable copy of the current counter values."""
         return self.counters.snapshot()

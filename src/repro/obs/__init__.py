@@ -13,12 +13,29 @@ This package is the simulated equivalent of all three:
   per-op summary table, or a Chrome ``trace_event`` file for
   ``chrome://tracing`` / Perfetto;
 * :class:`~repro.obs.proxy.TracedClient` roots each causal tree at the
-  system call the workload issued.
+  system call the workload issued;
+* :class:`~repro.obs.profile.Profile` turns a recording into per-layer
+  time attribution, critical paths, and queueing analytics (the analysis
+  behind the paper's Tables 5/9/10);
+* :mod:`~repro.obs.bench` runs named workload suites on both stacks and
+  emits/compares schema-versioned ``BENCH_*.json`` documents — the
+  ``repro bench`` regression gate.
 
 Build a traced stack with ``make_stack(kind, trace=True)`` and read
-``stack.tracer`` after the run, or use the ``repro trace`` CLI.
+``stack.tracer`` after the run, or use the ``repro trace`` /
+``repro bench`` CLIs.
 """
 
+from .bench import (
+    SUITES,
+    WORKLOADS,
+    compare,
+    format_compare,
+    load_bench,
+    run_case,
+    run_suite,
+    write_bench,
+)
 from .export import (
     chrome_trace,
     format_op_summary,
@@ -28,6 +45,15 @@ from .export import (
     render_timeline_diff,
     write_chrome_trace,
     write_packet_trace,
+)
+from .profile import (
+    LayerStat,
+    PathSegment,
+    Profile,
+    format_attribution,
+    format_critical_path,
+    format_resource_report,
+    resource_report,
 )
 from .proxy import SYSCALL_NAMES, TracedClient
 from .tracer import (
@@ -60,4 +86,19 @@ __all__ = [
     "format_op_summary",
     "render_span_tree",
     "render_timeline_diff",
+    "Profile",
+    "PathSegment",
+    "LayerStat",
+    "format_attribution",
+    "format_critical_path",
+    "resource_report",
+    "format_resource_report",
+    "SUITES",
+    "WORKLOADS",
+    "run_case",
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "compare",
+    "format_compare",
 ]

@@ -1,0 +1,313 @@
+"""The benchmark-regression harness behind ``repro bench``.
+
+Runs a named *suite* of workloads on both storage stacks with tracing
+enabled and emits one schema-versioned JSON document per suite
+(``BENCH_<suite>.json``): completion times, exact message/byte counts,
+per-syscall latency percentiles, the profiler's per-layer attribution and
+top critical-path segments, and per-resource queueing stats.  Everything
+is *simulated* time, so the output is deterministic — two runs of the
+same code produce byte-identical JSON, which makes the committed baseline
+a precise regression gate:
+
+* ``repro bench --suite quick`` regenerates the document;
+* ``repro bench --compare old.json new.json`` flags completion-time
+  regressions beyond a tolerance (default 15%) and *any* change in
+  message counts (counts are deterministic, so a drifted count means the
+  protocol behavior changed — exactness is the point).
+
+CI runs the quick suite on every push and compares against the committed
+``BENCH_quick.json``; a legitimate performance change ships with a
+regenerated baseline in the same commit, so the file doubles as the
+repository's performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .profile import Profile
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WORKLOADS",
+    "SUITES",
+    "run_case",
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "compare",
+    "format_compare",
+]
+
+SCHEMA_VERSION = 1
+
+# How many ranked critical-path segments each case records.
+_PATH_LIMIT = 8
+
+
+# -- workloads ----------------------------------------------------------------
+# Shared by `repro trace` and `repro bench`: small, deterministic drivers
+# that touch every layer of a stack.  All take the stack's client (the
+# uniform syscall surface) and run as one simulator process.
+
+
+def _workload_smoke(client):
+    """A handful of syscalls touching every layer once."""
+    yield from client.mkdir("/d")
+    fd = yield from client.creat("/d/f")
+    yield from client.write(fd, 16_384)
+    yield from client.fsync(fd)
+    yield from client.pread(fd, 4096, 0)
+    yield from client.close(fd)
+    yield from client.stat("/d/f")
+
+
+def _workload_postmark(client, files=20, transactions=60, seed=42):
+    """A small PostMark-like mix: create pool, transact, delete pool."""
+    import random
+
+    from ..fs.vfs import O_RDWR
+
+    rng = random.Random(seed)
+    yield from client.mkdir("/pm")
+    names = []
+    for index in range(files):
+        name = "/pm/f%03d" % index
+        fd = yield from client.creat(name)
+        yield from client.pwrite(fd, rng.randrange(512, 16_384), 0)
+        yield from client.close(fd)
+        names.append(name)
+    serial = files
+    for _ in range(transactions):
+        choice = rng.randrange(4)
+        if choice == 0 and names:  # read a whole file
+            fd = yield from client.open(rng.choice(names))
+            attrs = yield from client.fstat(fd)
+            yield from client.pread(fd, attrs.size, 0)
+            yield from client.close(fd)
+        elif choice == 1 and names:  # append
+            fd = yield from client.open(rng.choice(names), O_RDWR)
+            attrs = yield from client.fstat(fd)
+            yield from client.pwrite(fd, rng.randrange(512, 8192), attrs.size)
+            yield from client.close(fd)
+        elif choice == 2:  # create
+            name = "/pm/f%03d" % serial
+            serial += 1
+            fd = yield from client.creat(name)
+            yield from client.pwrite(fd, rng.randrange(512, 16_384), 0)
+            yield from client.close(fd)
+            names.append(name)
+        elif names:  # delete
+            victim = names.pop(rng.randrange(len(names)))
+            yield from client.unlink(victim)
+    for name in names:
+        yield from client.unlink(name)
+    yield from client.rmdir("/pm")
+
+
+def _make_io_workload(sequential: bool, write: bool, file_mb: int = 2):
+    """Sequential/random whole-file reader or writer over 64 KB requests."""
+
+    def workload(client):
+        import random
+
+        request = 64 * 1024
+        size = file_mb * 1024 * 1024
+        offsets = list(range(0, size, request))
+        fd = yield from client.creat("/io")
+        yield from client.pwrite(fd, size, 0)
+        yield from client.fsync(fd)
+        if not sequential:
+            random.Random(7).shuffle(offsets)
+        for offset in offsets:
+            if write:
+                yield from client.pwrite(fd, request, offset)
+            else:
+                yield from client.pread(fd, request, offset)
+        yield from client.close(fd)
+
+    return workload
+
+
+WORKLOADS = {
+    "smoke": _workload_smoke,
+    "postmark": _workload_postmark,
+    "seqread": _make_io_workload(sequential=True, write=False),
+    "randread": _make_io_workload(sequential=False, write=False),
+    "seqwrite": _make_io_workload(sequential=True, write=True),
+    "randwrite": _make_io_workload(sequential=False, write=True),
+}
+
+# Suite -> ((workload, stack kinds), ...).  "quick" is the CI gate:
+# small enough for every push, broad enough to cover metadata (smoke),
+# mixed small-file traffic (postmark), and the paper's headline
+# random-write asymmetry (randwrite).
+SUITES: Dict[str, Tuple[Tuple[str, Tuple[str, ...]], ...]] = {
+    "quick": (
+        ("smoke", ("nfsv3", "iscsi")),
+        ("postmark", ("nfsv3", "iscsi")),
+        ("randwrite", ("nfsv3", "iscsi")),
+    ),
+    "streaming": (
+        ("seqread", ("nfsv3", "iscsi")),
+        ("randread", ("nfsv3", "iscsi")),
+        ("seqwrite", ("nfsv3", "iscsi")),
+        ("randwrite", ("nfsv3", "iscsi")),
+    ),
+}
+
+
+# -- running ------------------------------------------------------------------
+
+
+def run_case(workload: str, kind: str) -> Dict[str, Any]:
+    """Run one traced workload on one stack; return its JSON-ready record.
+
+    ``completion_time_s`` is the application's elapsed time;
+    ``total_time_s`` additionally covers the quiesce (asynchronous
+    write-back and journal settling), matching the paper's packet-capture
+    window.  Message and byte counts include the quiesce traffic.
+    """
+    # Imported lazily: repro.obs must stay importable while
+    # repro.core.comparison (which imports repro.obs) initializes.
+    from ..core.comparison import make_stack
+
+    stack = make_stack(kind, trace=True)
+    snap = stack.snapshot()
+    start = stack.now
+    stack.run(WORKLOADS[workload](stack.client), name=workload)
+    elapsed = stack.now - start
+    stack.quiesce()
+    delta = stack.delta(snap)
+    profile = Profile(stack.tracer)
+
+    attribution = {}
+    for layer, stat in profile.attribution().items():
+        attribution[layer] = {
+            "spans": stat.spans,
+            "inclusive_s": round(stat.inclusive, 9),
+            "exclusive_s": round(stat.exclusive, 9),
+        }
+    syscalls = {}
+    for name in sorted(stack.tracer.histograms):
+        if not name.startswith("syscall:"):
+            continue
+        hist = stack.tracer.histograms[name]
+        syscalls[name[len("syscall:"):]] = {
+            "count": hist.count,
+            "mean_ms": round(hist.mean * 1e3, 9),
+            "p50_ms": round(hist.percentile(0.50) * 1e3, 9),
+            "p95_ms": round(hist.percentile(0.95) * 1e3, 9),
+            "p99_ms": round(hist.percentile(0.99) * 1e3, 9),
+        }
+    critical_path = [
+        [segment_name, round(seconds, 9)]
+        for segment_name, seconds, _hops
+        in profile.critical_path_summary()[:_PATH_LIMIT]
+    ]
+    resources = {
+        resource.name: resource.stats.as_dict()
+        for resource in stack.resources()
+    }
+    return {
+        "workload": workload,
+        "stack": kind,
+        "completion_time_s": round(elapsed, 9),
+        "total_time_s": round(stack.now, 9),
+        "messages": delta.messages,
+        "bytes": delta.total_bytes,
+        "retransmissions": delta.retransmissions,
+        "syscalls": syscalls,
+        "attribution": attribution,
+        "critical_path": critical_path,
+        "resources": resources,
+    }
+
+
+def run_suite(suite: str) -> Dict[str, Any]:
+    """Run every case of the named suite; return the versioned document."""
+    if suite not in SUITES:
+        raise ValueError("unknown suite %r; one of %s"
+                         % (suite, sorted(SUITES)))
+    cases = {}
+    for workload, kinds in SUITES[suite]:
+        for kind in kinds:
+            cases["%s/%s" % (workload, kind)] = run_case(workload, kind)
+    return {"schema": SCHEMA_VERSION, "suite": suite, "cases": cases}
+
+
+def write_bench(result: Dict[str, Any], path: str) -> None:
+    """Write a suite result as stable, diffable JSON (sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Load a ``BENCH_*.json`` document."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def compare(baseline: Dict[str, Any], current: Dict[str, Any],
+            tolerance: float = 0.15,
+            ) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Diff two suite results: ``(regressions, notes)``.
+
+    A regression is: a schema mismatch, a case present in the baseline
+    but missing now, any change in the exact message count, or a
+    completion time more than ``tolerance`` above the baseline.
+    ``notes`` carries non-fatal observations (improvements, new cases).
+    """
+    regressions: List[Dict[str, Any]] = []
+    notes: List[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        regressions.append({
+            "case": "(document)", "metric": "schema",
+            "baseline": baseline.get("schema"),
+            "current": current.get("schema"),
+        })
+        return regressions, notes
+    old_cases = baseline.get("cases", {})
+    new_cases = current.get("cases", {})
+    for case in sorted(old_cases):
+        old = old_cases[case]
+        new = new_cases.get(case)
+        if new is None:
+            regressions.append({"case": case, "metric": "presence",
+                                "baseline": "present", "current": "missing"})
+            continue
+        if new["messages"] != old["messages"]:
+            regressions.append({"case": case, "metric": "messages",
+                                "baseline": old["messages"],
+                                "current": new["messages"]})
+        t_old = old["completion_time_s"]
+        t_new = new["completion_time_s"]
+        if t_new > t_old * (1.0 + tolerance) + 1e-12:
+            regressions.append({"case": case, "metric": "completion_time_s",
+                                "baseline": t_old, "current": t_new})
+        elif t_old > 0 and t_new < t_old * (1.0 - tolerance):
+            notes.append("%s: completion time improved %.3fs -> %.3fs"
+                         % (case, t_old, t_new))
+    for case in sorted(set(new_cases) - set(old_cases)):
+        notes.append("%s: new case (no baseline)" % case)
+    return regressions, notes
+
+
+def format_compare(regressions: List[Dict[str, Any]],
+                   notes: List[str]) -> str:
+    """Human-readable comparison verdict (one line per finding)."""
+    lines = []
+    for entry in regressions:
+        lines.append("REGRESSION %s: %s %r -> %r" % (
+            entry["case"], entry["metric"],
+            entry["baseline"], entry["current"]))
+    for note in notes:
+        lines.append("note: %s" % note)
+    if not regressions:
+        lines.append("ok: no regressions beyond tolerance")
+    return "\n".join(lines)

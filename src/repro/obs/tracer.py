@@ -46,6 +46,7 @@ import itertools
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Simulator
+from ..sim.stats import LatencyHistogram
 
 __all__ = [
     "Span",
@@ -142,60 +143,6 @@ class CounterSample:
         self.name = name
         self.track = track
         self.value = value
-
-
-class LatencyHistogram:
-    """Fixed geometric buckets over latencies, 1 us to ~2 minutes.
-
-    Buckets double from 1 microsecond; values beyond the last edge land in
-    an overflow bucket.  Percentiles are answered from the cumulative
-    counts (upper bucket edge), which bounds the error to one bucket
-    width — the standard fixed-bucket trade-off.
-    """
-
-    EDGES: Tuple[float, ...] = tuple(1e-6 * (2.0 ** i) for i in range(28))
-
-    def __init__(self):
-        self.counts: List[int] = [0] * (len(self.EDGES) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (in simulated seconds)."""
-        index = 0
-        for index, edge in enumerate(self.EDGES):
-            if seconds <= edge:
-                break
-        else:
-            index = len(self.EDGES)
-        self.counts[index] += 1
-        self.count += 1
-        self.total += seconds
-        self.min = seconds if self.min is None else min(self.min, seconds)
-        self.max = seconds if self.max is None else max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        """Arithmetic mean of all observations (0.0 when empty)."""
-        if not self.count:
-            return 0.0
-        return self.total / self.count
-
-    def percentile(self, fraction: float) -> float:
-        """Latency at the given fraction (0.5 = p50), from bucket edges."""
-        if not self.count:
-            return 0.0
-        target = fraction * self.count
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= target and count:
-                if index < len(self.EDGES):
-                    return self.EDGES[index]
-                return self.max if self.max is not None else self.EDGES[-1]
-        return self.max if self.max is not None else 0.0
 
 
 class NullTracer:

@@ -16,14 +16,17 @@ from .kernel import (
     Timeout,
 )
 from .resources import Resource, Store, UtilizationTracker
+from .stats import LatencyHistogram, ResourceStats
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
     "Interrupt",
+    "LatencyHistogram",
     "Process",
     "Resource",
+    "ResourceStats",
     "SimulationError",
     "Simulator",
     "Store",

@@ -7,9 +7,13 @@ Two primitives cover everything the storage stacks need:
 * :class:`Store` — an unbounded FIFO of items with blocking ``get``; used
   for message inboxes and request queues.
 
-Both also keep the accounting the experiments need (busy time, queue
-lengths), so utilization figures fall out of the same objects that provide
-the contention.
+Both also keep the accounting the experiments need, so utilization
+figures fall out of the same objects that provide the contention.  Every
+:class:`Resource` carries a :class:`~repro.sim.stats.ResourceStats`
+(``resource.stats``) with utilization, wait-time histograms, and the
+queue-depth integral — the raw material for the queueing analytics in
+:mod:`repro.obs.profile`.  The older :class:`UtilizationTracker` is kept
+for the CPU-utilization windows of Tables 9/10.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from collections import deque
 from typing import Any, Deque, Generator, List, Optional, Tuple
 
 from .kernel import Event, SimulationError, Simulator
+from .stats import ResourceStats
 
 __all__ = ["Resource", "Store", "UtilizationTracker"]
 
@@ -81,6 +86,7 @@ class Resource:
         self.available = capacity
         self._waiters: Deque[Event] = deque()
         self.tracker = UtilizationTracker(sim, capacity)
+        self.stats = ResourceStats(self)
         self.total_acquisitions = 0
 
     @property
@@ -91,10 +97,14 @@ class Resource:
         """Coroutine: block until a unit of capacity is held."""
         if self.available > 0 and not self._waiters:
             self.available -= 1
+            self.stats.note_acquired(0.0)
         else:
+            arrived = self.sim.now
             gate = self.sim.event()
+            self.stats.note_enqueued()
             self._waiters.append(gate)
             yield gate
+            self.stats.note_wait_done(self.sim.now - arrived)
         self.total_acquisitions += 1
         self.tracker.acquire()
         return None
@@ -102,6 +112,7 @@ class Resource:
     def release(self) -> None:
         """Return one unit of capacity; wakes the oldest waiter, if any."""
         self.tracker.release()
+        self.stats.note_released()
         if self._waiters:
             self._waiters.popleft().trigger()
         else:

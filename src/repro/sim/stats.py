@@ -1,0 +1,263 @@
+"""Measurement primitives shared by the kernel and the observability layer.
+
+Two classes live here because both the simulation substrate and
+``repro.obs`` need them without importing each other:
+
+* :class:`LatencyHistogram` — fixed geometric buckets with an explicit
+  overflow bucket and exact min/max tracking, used for span latencies
+  (``repro.obs``) and resource wait times (:class:`ResourceStats`);
+* :class:`ResourceStats` — first-class queueing statistics for one
+  :class:`~repro.sim.resources.Resource`: utilization, wait-time
+  accounting, and the queue-depth integral that makes Little's law an
+  exact checkable identity instead of an approximation.
+
+The accounting is pure arithmetic on the simulated clock — it never
+creates events — so instrumented and uninstrumented runs execute the
+exact same event sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "ResourceStats"]
+
+
+class LatencyHistogram:
+    """Fixed geometric buckets over latencies, 1 us to ~2 minutes.
+
+    Buckets double from 1 microsecond; values beyond the last edge land
+    in an explicit overflow bucket (:attr:`overflow`).  The exact minimum
+    and maximum are tracked alongside the buckets, and every percentile
+    answer is clamped into ``[min, max]`` — so empty and single-sample
+    histograms, and values above the top bucket, never mis-report:
+
+    * empty histogram — percentiles are 0.0 (nothing observed);
+    * single sample — every percentile is exactly that sample;
+    * overflow values — the high percentiles report the exact maximum,
+      not a bucket edge that does not exist.
+
+    Within a populated bucket the answer is the bucket's upper edge,
+    which bounds the error to one bucket width — the standard
+    fixed-bucket trade-off.
+    """
+
+    EDGES: Tuple[float, ...] = tuple(1e-6 * (2.0 ** i) for i in range(28))
+
+    def __init__(self):
+        self.counts: List[int] = [0] * (len(self.EDGES) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (in simulated seconds)."""
+        index = 0
+        for index, edge in enumerate(self.EDGES):
+            if seconds <= edge:
+                break
+        else:
+            index = len(self.EDGES)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+
+    @property
+    def overflow(self) -> int:
+        """Observations that fell above the top bucket edge."""
+        return self.counts[-1]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given fraction (0.5 = p50), from bucket edges.
+
+        The raw bucket answer (upper edge; exact max for the overflow
+        bucket) is clamped into the observed ``[min, max]`` range.
+        Returns 0.0 for an empty histogram.
+        """
+        if not self.count or self.min is None or self.max is None:
+            return 0.0
+        if fraction <= 0.0:
+            return self.min
+        target = fraction * self.count
+        seen = 0
+        result = self.max
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target and count:
+                if index < len(self.EDGES):
+                    result = self.EDGES[index]
+                else:
+                    result = self.max
+                break
+        return min(max(result, self.min), self.max)
+
+
+class ResourceStats:
+    """First-class queueing statistics for one resource.
+
+    This generalizes the old scattered ``busy_time`` counters into a
+    single accumulator maintained by ``Resource.acquire``/``release``:
+
+    * **utilization** — busy time integrated over the in-service count,
+      divided by ``capacity * elapsed`` (what vmstat would report);
+    * **wait accounting** — every acquisition records its queueing delay;
+      contended waits (> 0) additionally feed a
+      :class:`LatencyHistogram`, so p95/p99 wait times are available;
+    * **queue-depth integral** — ``integral(queue_length dt)`` maintained
+      at every enqueue/dequeue, giving the exact time-average queue
+      length without sampling.
+
+    Little's law (``L = lambda * W``) is an exact identity here: over any
+    interval that begins and ends with an empty queue, the queue-depth
+    integral equals the sum of all waits.
+    :meth:`littles_law_residual` exposes the difference so tests can
+    assert the accounting is conservative.
+    """
+
+    def __init__(self, resource: Any):
+        self._resource = resource
+        self._sim = resource.sim
+        self.window_start = self._sim.now
+        self.acquisitions = 0          # total successful acquires
+        self.contended = 0             # acquires that had to queue
+        self.total_wait = 0.0          # sum of all queueing delays
+        self.max_wait = 0.0
+        self.wait_hist = LatencyHistogram()   # contended waits only
+        self.busy_time = 0.0           # integral of the in-service count
+        self._in_service = 0
+        self._queue_len = 0
+        self._queue_integral = 0.0
+        self._last_change = self._sim.now
+
+    # -- accounting hooks (called by Resource) --------------------------------
+
+    def note_enqueued(self) -> None:
+        """One acquirer joined the wait queue."""
+        self._accumulate()
+        self._queue_len += 1
+
+    def note_acquired(self, wait: float) -> None:
+        """One acquirer entered service after waiting ``wait`` seconds.
+
+        Acquirers that queued must call :meth:`note_wait_done` instead so
+        the queue-depth integral stays conservative.
+        """
+        self._accumulate()
+        self._in_service += 1
+        self.acquisitions += 1
+        self.total_wait += wait
+        if wait > 0.0:
+            self.contended += 1
+            if wait > self.max_wait:
+                self.max_wait = wait
+            self.wait_hist.record(wait)
+
+    def note_wait_done(self, wait: float) -> None:
+        """A queued acquirer left the wait queue and entered service."""
+        self._accumulate()
+        self._queue_len -= 1
+        self.note_acquired(wait)
+
+    def note_released(self) -> None:
+        """One unit of capacity left service."""
+        self._accumulate()
+        self._in_service -= 1
+
+    def _accumulate(self) -> None:
+        now = self._sim.now
+        dt = now - self._last_change
+        if dt > 0.0:
+            self.busy_time += self._in_service * dt
+            self._queue_integral += self._queue_len * dt
+        self._last_change = now
+
+    # -- derived figures ------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since the start of the current window."""
+        return self._sim.now - self.window_start
+
+    @property
+    def queue_integral(self) -> float:
+        """``integral(queue_length dt)`` up to the current instant."""
+        self._accumulate()
+        return self._queue_integral
+
+    def utilization(self) -> float:
+        """Mean utilization over the current window, in [0, 1]."""
+        self._accumulate()
+        elapsed = self.elapsed
+        if elapsed <= 0.0:
+            return 0.0
+        return self.busy_time / (self._resource.capacity * elapsed)
+
+    def mean_wait(self) -> float:
+        """Mean queueing delay over *all* acquisitions (0.0 when none)."""
+        if not self.acquisitions:
+            return 0.0
+        return self.total_wait / self.acquisitions
+
+    def mean_queue_length(self) -> float:
+        """Exact time-average number of waiters (from the integral)."""
+        elapsed = self.elapsed
+        if elapsed <= 0.0:
+            return 0.0
+        return self.queue_integral / elapsed
+
+    def arrival_rate(self) -> float:
+        """Acquisitions per simulated second over the current window."""
+        elapsed = self.elapsed
+        if elapsed <= 0.0:
+            return 0.0
+        return self.acquisitions / elapsed
+
+    def littles_law_residual(self) -> float:
+        """``|integral(queue dt) - sum(waits)|`` — the conservation check.
+
+        Exactly 0 (up to float addition order) whenever the wait queue is
+        empty at both window edges; while acquirers are still queued the
+        residual equals their accumulated-but-unfinished waiting time.
+        """
+        return abs(self.queue_integral - self.total_wait)
+
+    def reset_window(self) -> None:
+        """Start a fresh measurement window at the current instant.
+
+        In-service and queued counts carry over (they are physical
+        state); the integrals, wait totals, and histogram restart.
+        """
+        self._accumulate()
+        self.window_start = self._sim.now
+        self.acquisitions = 0
+        self.contended = 0
+        self.total_wait = 0.0
+        self.max_wait = 0.0
+        self.wait_hist = LatencyHistogram()
+        self.busy_time = 0.0
+        self._queue_integral = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (used by ``repro bench``)."""
+        return {
+            "capacity": self._resource.capacity,
+            "utilization": round(self.utilization(), 9),
+            "busy_s": round(self.busy_time, 9),
+            "acquisitions": self.acquisitions,
+            "contended": self.contended,
+            "wait_s": round(self.total_wait, 9),
+            "mean_wait_s": round(self.mean_wait(), 9),
+            "max_wait_s": round(self.max_wait, 9),
+            "p95_wait_s": round(self.wait_hist.percentile(0.95), 9),
+            "mean_queue": round(self.mean_queue_length(), 9),
+        }

@@ -1,0 +1,210 @@
+"""Tests for repro.obs.bench and the ``repro bench`` CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro import cli
+from repro.obs import bench
+
+
+# -------------------------------------------------------------------- run_case
+
+@pytest.fixture(scope="module")
+def smoke_case():
+    """One traced smoke run on NFSv3 (module-cached; ~50 ms)."""
+    return bench.run_case("smoke", "nfsv3")
+
+
+def test_run_case_record_shape(smoke_case):
+    record = smoke_case
+    assert record["workload"] == "smoke"
+    assert record["stack"] == "nfsv3"
+    assert record["completion_time_s"] > 0
+    assert record["total_time_s"] >= record["completion_time_s"]
+    assert record["messages"] > 0
+    assert record["bytes"] > 0
+    assert record["retransmissions"] == 0
+    # One syscall entry per distinct op the workload issued.
+    assert set(record["syscalls"]) >= {"mkdir", "creat", "fsync", "close"}
+    for entry in record["syscalls"].values():
+        assert entry["count"] >= 1
+        assert entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+    # Attribution covers at least the syscall and disk layers.
+    assert "syscall" in record["attribution"]
+    assert "disk" in record["attribution"]
+    for layer in record["attribution"].values():
+        assert layer["exclusive_s"] <= layer["inclusive_s"] + 1e-9
+    assert record["critical_path"]
+    assert all(seconds >= 0 for _name, seconds in record["critical_path"])
+    assert any(name.endswith(".cpu") for name in record["resources"])
+
+
+def test_run_case_is_deterministic(smoke_case):
+    again = bench.run_case("smoke", "nfsv3")
+    assert again == smoke_case
+
+
+def test_run_case_rejects_unknown_workload():
+    with pytest.raises(KeyError):
+        bench.run_case("no-such-workload", "nfsv3")
+
+
+def test_run_suite_rejects_unknown_suite():
+    with pytest.raises(ValueError):
+        bench.run_suite("no-such-suite")
+
+
+def test_suites_reference_known_workloads():
+    for suite, entries in bench.SUITES.items():
+        for workload, kinds in entries:
+            assert workload in bench.WORKLOADS, (suite, workload)
+            assert kinds
+
+
+# ------------------------------------------------------------------- documents
+
+def _fake_suite():
+    """A tiny hand-built suite document (avoids re-running workloads)."""
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "suite": "fake",
+        "cases": {
+            "smoke/nfsv3": {"completion_time_s": 1.0, "messages": 100},
+            "smoke/iscsi": {"completion_time_s": 2.0, "messages": 80},
+        },
+    }
+
+
+def test_write_and_load_round_trip(tmp_path):
+    doc = _fake_suite()
+    path = tmp_path / "BENCH_fake.json"
+    bench.write_bench(doc, str(path))
+    assert bench.load_bench(str(path)) == doc
+    # Stable output: sorted keys, trailing newline.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def test_compare_identical_documents_is_clean():
+    doc = _fake_suite()
+    regressions, notes = bench.compare(doc, copy.deepcopy(doc))
+    assert regressions == []
+    assert notes == []
+    assert "ok" in bench.format_compare(regressions, notes)
+
+
+def test_compare_flags_completion_time_regression():
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 1.5
+    regressions, _notes = bench.compare(old, new, tolerance=0.15)
+    assert [r["metric"] for r in regressions] == ["completion_time_s"]
+    assert "REGRESSION" in bench.format_compare(regressions, _notes)
+
+
+def test_compare_within_tolerance_is_not_a_regression():
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 1.10
+    regressions, _notes = bench.compare(old, new, tolerance=0.15)
+    assert regressions == []
+
+
+def test_compare_flags_any_message_count_drift():
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    new["cases"]["smoke/iscsi"]["messages"] = 81  # off by one is enough
+    regressions, _notes = bench.compare(old, new)
+    assert [r["metric"] for r in regressions] == ["messages"]
+
+
+def test_compare_flags_missing_case_and_notes_new_case():
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    del new["cases"]["smoke/iscsi"]
+    new["cases"]["postmark/nfsv3"] = {"completion_time_s": 1.0,
+                                      "messages": 10}
+    regressions, notes = bench.compare(old, new)
+    assert [r["metric"] for r in regressions] == ["presence"]
+    assert any("new case" in note for note in notes)
+
+
+def test_compare_flags_schema_mismatch():
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    new["schema"] = bench.SCHEMA_VERSION + 1
+    regressions, _notes = bench.compare(old, new)
+    assert [r["metric"] for r in regressions] == ["schema"]
+
+
+def test_compare_notes_improvements():
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 0.5
+    regressions, notes = bench.compare(old, new)
+    assert regressions == []
+    assert any("improved" in note for note in notes)
+
+
+# ------------------------------------------------------------------------- CLI
+
+def test_cli_bench_compare_exit_codes(tmp_path, capsys):
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    bench.write_bench(old, str(old_path))
+    bench.write_bench(new, str(new_path))
+    assert cli.main(["bench", "--compare", str(old_path),
+                     str(new_path)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 9.9
+    bench.write_bench(new, str(new_path))
+    assert cli.main(["bench", "--compare", str(old_path),
+                     str(new_path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_bench_compare_honors_tolerance(tmp_path, capsys):
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 1.5
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    bench.write_bench(old, str(old_path))
+    bench.write_bench(new, str(new_path))
+    assert cli.main(["bench", "--compare", str(old_path), str(new_path),
+                     "--tolerance", "0.6"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_bench_runs_suite_and_writes_json(tmp_path, capsys, monkeypatch):
+    # Patch in a one-case suite so the CLI path stays fast.
+    monkeypatch.setitem(bench.SUITES, "tiny", (("smoke", ("iscsi",)),))
+    out_path = tmp_path / "BENCH_tiny.json"
+    assert cli.main(["bench", "--suite", "tiny",
+                     "--out", str(out_path)]) == 0
+    captured = capsys.readouterr().out
+    assert "smoke/iscsi" in captured
+    doc = bench.load_bench(str(out_path))
+    assert doc["schema"] == bench.SCHEMA_VERSION
+    assert doc["suite"] == "tiny"
+    assert set(doc["cases"]) == {"smoke/iscsi"}
+
+
+def test_committed_baseline_matches_current_schema():
+    # The committed gate file must stay loadable and schema-current.
+    import os
+    baseline = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_quick.json")
+    doc = bench.load_bench(baseline)
+    assert doc["schema"] == bench.SCHEMA_VERSION
+    assert doc["suite"] == "quick"
+    expected = {"%s/%s" % (workload, kind)
+                for workload, kinds in bench.SUITES["quick"]
+                for kind in kinds}
+    assert set(doc["cases"]) == expected

@@ -132,6 +132,59 @@ def test_latency_histogram_percentiles_are_monotone():
     assert hist.count == 5
 
 
+def test_latency_histogram_empty_reports_zero():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    for fraction in (0.0, 0.5, 0.95, 1.0):
+        assert hist.percentile(fraction) == 0.0
+
+
+def test_latency_histogram_single_sample_is_exact_at_every_percentile():
+    hist = LatencyHistogram()
+    hist.record(0.000991536)  # deliberately between bucket edges
+    for fraction in (0.01, 0.5, 0.95, 0.99, 1.0):
+        assert hist.percentile(fraction) == 0.000991536
+    assert hist.min == hist.max == 0.000991536
+
+
+def test_latency_histogram_overflow_values_report_exact_max():
+    hist = LatencyHistogram()
+    beyond = LatencyHistogram.EDGES[-1] * 4.0  # above the top bucket
+    hist.record(beyond)
+    assert hist.overflow == 1
+    assert hist.percentile(0.99) == beyond
+    hist.record(0.001)
+    assert hist.overflow == 1
+    assert hist.percentile(0.99) == beyond
+    assert hist.max == beyond and hist.min == 0.001
+
+
+def test_latency_histogram_value_exactly_on_top_edge_is_not_overflow():
+    hist = LatencyHistogram()
+    hist.record(LatencyHistogram.EDGES[-1])
+    assert hist.overflow == 0
+    assert hist.percentile(0.5) == LatencyHistogram.EDGES[-1]
+
+
+def test_latency_histogram_percentiles_clamped_into_observed_range():
+    # Bucket upper edges can overshoot the true max and undershoot the
+    # true min; the answer must stay inside [min, max] regardless.
+    hist = LatencyHistogram()
+    for value in (0.0015, 0.0017, 0.0019):  # all in the (1.024, 2.048] ms bucket
+        hist.record(value)
+    for fraction in (0.1, 0.5, 0.99):
+        answer = hist.percentile(fraction)
+        assert hist.min <= answer <= hist.max
+
+
+def test_latency_histogram_fraction_zero_returns_min():
+    hist = LatencyHistogram()
+    hist.record(0.002)
+    hist.record(0.010)
+    assert hist.percentile(0.0) == 0.002
+
+
 def test_probe_sampling_records_counter_samples():
     sim = Simulator()
     tracer = Tracer(sim)
@@ -266,6 +319,60 @@ def test_chrome_trace_structure():
         assert event["dur"] >= 0
     assert {e["pid"] for e in events} <= {1, 2, 3}
     assert any(e["ph"] == "M" for e in events)
+
+
+def test_write_chrome_trace_round_trips_through_json(tmp_path):
+    from repro.obs import write_chrome_trace
+
+    stack, _messages = _warm_read_stack("nfsv3")
+    path = tmp_path / "trace.json"
+    write_chrome_trace(stack.tracer, str(path))
+    assert json.loads(path.read_text()) == chrome_trace(stack.tracer)
+
+
+def test_write_packet_trace_round_trips_through_jsonl(tmp_path):
+    from repro.obs import write_packet_trace
+
+    stack, _messages = _warm_read_stack("nfsv3")
+    path = tmp_path / "trace.jsonl"
+    write_packet_trace(stack.tracer, str(path))
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(stack.tracer.messages)
+    parsed = [json.loads(line) for line in lines]
+    for record, message in zip(parsed, stack.tracer.messages):
+        assert record["op"] == message.op
+        assert record["t"] == pytest.approx(message.t)
+        assert record["hdr"] == message.header_bytes
+        assert record["pay"] == message.payload_bytes
+
+
+def test_chrome_trace_pids_and_tids_stable_across_identical_runs():
+    # Exporter determinism: the same workload twice must yield identical
+    # lane assignments (pid/tid), so exports are diffable artifacts.
+    first, _m1 = _warm_read_stack("nfsv3")
+    second, _m2 = _warm_read_stack("nfsv3")
+    events_a = chrome_trace(first.tracer)["traceEvents"]
+    events_b = chrome_trace(second.tracer)["traceEvents"]
+    lanes_a = [(e["name"], e["pid"], e["tid"]) for e in events_a
+               if e["ph"] == "X"]
+    lanes_b = [(e["name"], e["pid"], e["tid"]) for e in events_b
+               if e["ph"] == "X"]
+    assert lanes_a == lanes_b
+
+    # Beyond lanes, the full event streams agree too — except xids,
+    # which come from a process-global counter and keep climbing
+    # across stacks built in the same interpreter.
+    def masked(events):
+        out = []
+        for event in events:
+            event = dict(event)
+            if "args" in event:
+                event["args"] = {k: v for k, v in event["args"].items()
+                                 if k != "xid"}
+            out.append(event)
+        return out
+
+    assert masked(events_a) == masked(events_b)
 
 
 def test_op_summary_lists_each_rpc_op_once():

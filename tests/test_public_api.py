@@ -65,6 +65,40 @@ def test_public_classes_are_documented():
     assert not undocumented, undocumented
 
 
+def test_cli_enumerates_every_subcommand():
+    """``repro list`` must advertise the full CLI surface: every
+    registered subcommand, introspected from the parser itself so the
+    list can never drift from reality."""
+    from repro import cli
+
+    commands = cli.iter_subcommands()
+    # The parser is the source of truth; spot-check the fixed core...
+    assert {"quick", "table2", "trace", "bench", "list"} <= set(commands)
+    # ...and the printed output must contain every registered command.
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert cli.main(["list"]) == 0
+    output = buffer.getvalue()
+    for command in commands:
+        assert command in output, "repro list omits %r" % command
+
+
+def test_cli_subcommand_introspection_matches_parser():
+    from repro import cli
+
+    parser = cli.build_parser()
+    import argparse
+
+    registered = set()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            registered.update(action.choices)
+    assert set(cli.iter_subcommands()) == registered
+
+
 def test_top_level_reexports():
     from repro import (
         STACK_KINDS, Simulator, StorageStack, TestbedParams, make_stack,

@@ -6,6 +6,19 @@ from hypothesis import given, settings, strategies as st
 from repro.sim import Resource, SimulationError, Simulator, Store
 
 
+def _contended_run(sim, capacity=1, holds=(2.0, 3.0, 1.0)):
+    """Spawn one worker per hold on a fresh capacity-N resource."""
+    res = Resource(sim, capacity=capacity)
+
+    def worker(hold):
+        yield from res.use(hold)
+
+    for hold in holds:
+        sim.spawn(worker(hold))
+    sim.run()
+    return res
+
+
 def test_resource_serializes_capacity_one(sim):
     res = Resource(sim, capacity=1)
     done = []
@@ -124,6 +137,114 @@ def test_store_get_nowait_and_drain(sim):
     assert store.get_nowait() == 1
     assert store.drain() == [2]
     assert len(store) == 0
+
+
+# ------------------------------------------------------------- ResourceStats
+
+def test_stats_counts_waits_on_contended_resource(sim):
+    # Three holds of 2/3/1 s on capacity 1: b waits 2 s, c waits 5 s.
+    res = _contended_run(sim)
+    stats = res.stats
+    assert stats.acquisitions == 3
+    assert stats.contended == 2
+    assert stats.total_wait == pytest.approx(7.0)
+    assert stats.max_wait == pytest.approx(5.0)
+    assert stats.mean_wait() == pytest.approx(7.0 / 3)
+    assert stats.wait_hist.count == 2  # only the contended acquires
+
+
+def test_stats_uncontended_resource_records_no_waits(sim):
+    res = _contended_run(sim, capacity=4)
+    stats = res.stats
+    assert stats.acquisitions == 3
+    assert stats.contended == 0
+    assert stats.total_wait == 0.0
+    assert stats.wait_hist.count == 0
+    assert stats.littles_law_residual() == 0.0
+
+
+def test_stats_busy_time_matches_legacy_tracker(sim):
+    res = _contended_run(sim)
+    assert res.stats.busy_time == pytest.approx(
+        res.tracker.busy_time, abs=1e-12)
+    assert res.stats.utilization() == pytest.approx(
+        res.tracker.utilization(), abs=1e-12)
+
+
+def test_stats_queue_integral_equals_total_wait_when_drained(sim):
+    # Little's law as an identity: queue empty at both window edges, so
+    # integral(queue dt) == sum(waits) exactly.
+    res = _contended_run(sim, holds=(2.0, 3.0, 1.0, 0.5))
+    stats = res.stats
+    assert stats.littles_law_residual() < 1e-9
+    assert stats.mean_queue_length() == pytest.approx(
+        stats.total_wait / stats.elapsed)
+    assert stats.arrival_rate() == pytest.approx(
+        stats.acquisitions / stats.elapsed)
+
+
+def test_stats_reset_window_restarts_accounting(sim):
+    res = Resource(sim, capacity=1)
+
+    def worker():
+        yield from res.use(4.0)
+        res.stats.reset_window()
+        yield sim.timeout(6.0)
+
+    sim.run_process(worker())
+    stats = res.stats
+    assert stats.acquisitions == 0
+    assert stats.busy_time == 0.0
+    assert stats.utilization() == pytest.approx(0.0)
+    assert stats.elapsed == pytest.approx(6.0)
+
+
+def test_stats_utilization_tracks_capacity(sim):
+    res = Resource(sim, capacity=2)
+
+    def worker():
+        yield from res.use(10.0)
+
+    sim.run_process(worker())
+    assert res.stats.utilization() == pytest.approx(0.5)
+    assert res.stats.busy_time == pytest.approx(10.0)
+
+
+def test_stats_as_dict_is_json_ready(sim):
+    import json
+
+    res = _contended_run(sim)
+    payload = res.stats.as_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["capacity"] == 1
+    assert payload["acquisitions"] == 3
+    assert payload["contended"] == 2
+    assert payload["wait_s"] == pytest.approx(7.0)
+    assert 0.0 <= payload["utilization"] <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(holds=st.lists(st.floats(min_value=0.01, max_value=5.0),
+                      min_size=1, max_size=12),
+       capacity=st.integers(min_value=1, max_value=4))
+def test_stats_littles_law_property(holds, capacity):
+    """Over a run that starts and ends with an empty queue, the
+    queue-depth integral equals the summed waits (Little's law), and
+    stats busy time agrees with the legacy tracker."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+
+    def worker(hold):
+        yield from res.use(hold)
+
+    for hold in holds:
+        sim.spawn(worker(hold))
+    sim.run()
+    stats = res.stats
+    assert stats.acquisitions == len(holds)
+    assert stats.littles_law_residual() < 1e-9
+    assert stats.busy_time == pytest.approx(res.tracker.busy_time)
+    assert stats.busy_time == pytest.approx(sum(holds))
 
 
 @settings(max_examples=30, deadline=None)
