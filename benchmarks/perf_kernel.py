@@ -1,0 +1,44 @@
+"""Kernel hot-path micro-benchmarks (pytest-benchmark).
+
+Wall-clock timings of the three synthetic storms in
+:mod:`repro.sim.perf` — calendar churn, process spawn, contended
+resources — plus the traced quick suite end-to-end.  These measure
+*interpreter overhead*, not simulated outcomes (which are deterministic
+and covered by the regular tests), so they report ops/second and are the
+numbers to watch when touching ``repro.sim.kernel``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_kernel.py
+
+(CI's hard wall-clock gate is ``benchmarks/perf_smoke.py``, which uses
+the same storms without the pytest-benchmark dependency.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.sim.perf import MICROBENCHES
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCHES))
+def test_kernel_microbench(benchmark, name):
+    fn, kwargs = MICROBENCHES[name]
+    operations = benchmark(fn, **kwargs)
+    benchmark.extra_info["operations"] = operations
+
+
+def test_quick_suite_traced(benchmark):
+    """The bench quick suite: the kernel under a real traced workload."""
+    from repro.obs import bench
+
+    result = benchmark.pedantic(
+        lambda: bench.run_suite("quick"), rounds=1, iterations=1)
+    assert sorted(result["cases"]) == [
+        "postmark/iscsi", "postmark/nfsv3",
+        "randwrite/iscsi", "randwrite/nfsv3",
+        "smoke/iscsi", "smoke/nfsv3",
+    ]

@@ -1,0 +1,96 @@
+"""CI wall-clock perf smoke: time the kernel storms + the quick suite.
+
+Produces a small JSON document of best-of-N wall-clock seconds::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --out BENCH_perf.json
+
+and gates against a committed baseline::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py \
+        --compare BENCH_perf.json --tolerance 2.0
+
+The tolerance is deliberately loose (fail only when a case is more than
+``tolerance`` times slower than baseline): wall-clock on shared CI
+runners is noisy, and this gate exists to catch *gross* kernel
+regressions — an accidentally reintroduced per-event closure, a
+quadratic calendar — not 10% drift.  Precise, deterministic regression
+checking (message counts, simulated times) lives in ``repro bench``.
+The machine-dependent baseline numbers double as the measured record of
+the kernel optimization's speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.sim.perf import MICROBENCHES, time_callable
+
+
+def run_cases(repeat: int = 3) -> Dict[str, float]:
+    """Best-of-``repeat`` wall-clock seconds for every smoke case."""
+    from repro.obs import bench
+
+    cases = {}
+    for name in sorted(MICROBENCHES):
+        fn, kwargs = MICROBENCHES[name]
+        cases[name] = round(time_callable(fn, kwargs, repeat=repeat), 6)
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        bench.run_suite("quick")
+        best = min(best, time.perf_counter() - start)
+    cases["quick_suite_traced"] = round(best, 6)
+    return cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="FILE",
+                        help="write results as JSON to FILE")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="compare against a baseline JSON file; "
+                             "exit 1 if any case regresses")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="max allowed current/baseline wall-clock "
+                             "ratio (default 2.0)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per case (best-of)")
+    args = parser.parse_args(argv)
+
+    cases = run_cases(repeat=args.repeat)
+    for name in sorted(cases):
+        print("%-22s %8.3fs" % (name, cases[name]))
+
+    status = 0
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)["cases"]
+        for name in sorted(baseline):
+            if name not in cases:
+                print("MISSING %s (present in baseline)" % name)
+                status = 1
+                continue
+            ratio = cases[name] / baseline[name] if baseline[name] else 1.0
+            if ratio > args.tolerance:
+                print("REGRESSION %s: %.3fs -> %.3fs (%.2fx > %.2fx)"
+                      % (name, baseline[name], cases[name], ratio,
+                         args.tolerance))
+                status = 1
+        if status == 0:
+            print("ok: all cases within %.2fx of baseline" % args.tolerance)
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"schema": 1, "cases": cases}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.out)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

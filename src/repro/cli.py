@@ -3,8 +3,9 @@
 Usage::
 
     python -m repro list
-    python -m repro table2 [--depth 0 3]
-    python -m repro table4 [--mb 16]
+    python -m repro all [--jobs N] [--no-cache]
+    python -m repro table2 [--depth 0 3] [--jobs N]
+    python -m repro table4 [--mb 16] [--jobs N]
     python -m repro table5 [--transactions 8000] [--files 1000]
     python -m repro fig4 --op mkdir
     python -m repro fig6 [--mb 4]
@@ -12,24 +13,35 @@ Usage::
     python -m repro sec7
     python -m repro quick
     python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
-    python -m repro bench [--suite quick] [--out FILE]
+    python -m repro bench [--suite quick] [--out FILE] [--jobs N]
     python -m repro bench --compare OLD.json NEW.json [--tolerance 0.15]
 
 Each artifact subcommand runs the corresponding experiment at a tractable
-scale and prints the same rows the paper reports; ``trace`` records and
-exports a run, ``bench`` runs the regression suites (see the README's
-"Profiling & benchmarking" section).  ``repro list`` enumerates every
-subcommand.  For the asserted paper-vs-measured comparison, run the
-pytest benchmarks instead (see README).
+scale and prints the same rows the paper reports.  Under the hood every
+artifact is a list of pure experiment *cells* (one stack x workload x
+parameter point) executed by the
+:class:`~repro.core.runner.ExperimentRunner`: pass ``--jobs N`` to fan
+the cells out over N worker processes — the merged output is
+byte-identical to a serial run.  ``repro all`` regenerates the whole
+paper in one go and additionally backs the cells with the on-disk result
+cache (``--no-cache`` disables it), so an unchanged cell costs a file
+read on re-run.
+
+``trace`` records and exports a run; ``bench`` runs the regression
+suites (see the README's "Profiling & benchmarking" section); ``repro
+list`` enumerates every subcommand.  For the asserted paper-vs-measured
+comparison, run the pytest benchmarks instead (see README).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .core.comparison import STACK_KINDS, make_stack
+from .core.runner import Cell, ExperimentRunner
 from .obs.bench import SUITES as BENCH_SUITES
 from .obs.bench import WORKLOADS as TRACE_WORKLOADS
 
@@ -43,6 +55,23 @@ def _print_table(headers, rows):
     print("-" * len(line))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _cell(kind: str, /, **params: Any) -> Cell:
+    """A cell with a canonical id derived from its kind and params."""
+    spec = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return Cell("%s?%s" % (kind, spec), kind, params)
+
+
+def _runner(args) -> ExperimentRunner:
+    """Build the runner an artifact subcommand asked for.
+
+    Individual artifact commands parallelize with ``--jobs`` but never
+    touch the cache; only ``repro all`` (and ``bench --cache``) uses the
+    on-disk result cache.
+    """
+    return ExperimentRunner(jobs=getattr(args, "jobs", None),
+                            use_cache=False)
 
 
 def iter_subcommands() -> List[str]:
@@ -61,233 +90,429 @@ def cmd_list(_args) -> int:
     print("            table9 table10 fig3 fig4 fig5 fig6 fig7 sec7 quick")
     print("tools:      trace (record/export a run)  "
           "bench (regression suites)")
+    print("            all (every artifact, parallel + cached)")
     print("commands:   %s" % " ".join(iter_subcommands()))
     return 0
 
 
-def cmd_quick(_args) -> int:
-    for kind in STACK_KINDS:
-        stack = make_stack(kind)
-        client = stack.client
+# -- artifact cells + renderers -----------------------------------------------
+# Every artifact is (a) a list of pure runner cells and (b) a renderer
+# that formats the merged results.  The cells functions are the single
+# source of truth for ids, so renderers look results up by regenerating
+# the same cells.
 
-        def work(client=client):
-            yield from client.mkdir("/d")
-            fd = yield from client.creat("/d/f")
-            yield from client.write(fd, 16_384)
-            yield from client.close(fd)
-            yield from client.stat("/d/f")
+SYSCALL_KINDS = ("nfsv2", "nfsv3", "nfsv4", "iscsi")
+TABLE4_MODES = ("seq-read", "rand-read", "seq-write", "rand-write")
+FIG3_BATCHES = (1, 4, 16, 64, 256, 1024)
+FIG4_DEPTHS = tuple(range(0, 17, 4))
+FIG5_SIZES = tuple(2 ** e for e in range(7, 17))
+FIG6_RTTS = (0.010, 0.030, 0.050, 0.070, 0.090)
+TRACE_LIMIT = 150_000
 
-        snap = stack.snapshot()
-        stack.run(work())
-        stack.quiesce()
-        delta = stack.delta(snap)
+
+def cells_quick() -> List[Cell]:
+    return [_cell("quick", kind=kind) for kind in STACK_KINDS]
+
+
+def render_quick(results) -> None:
+    for cell in cells_quick():
+        record = results[cell.id]
         print("%-14s msgs=%-5d bytes=%-8d t=%.2fms" % (
-            kind, delta.messages, delta.total_bytes, stack.now * 1000))
+            cell.params["kind"], record["messages"], record["bytes"],
+            record["now_s"] * 1000))
+
+
+def cells_syscalls(depths: Tuple[int, ...], warm: bool) -> List[Cell]:
+    return [_cell("syscall_table", kind=kind, depth=depth, warm=warm)
+            for depth in depths for kind in SYSCALL_KINDS]
+
+
+def render_syscalls(results, depths: Tuple[int, ...], warm: bool) -> None:
+    from .workloads import SYSCALL_OPS
+
+    for depth in depths:
+        print("\n%s cache, depth %d" % ("warm" if warm else "cold", depth))
+        rows = []
+        for op in SYSCALL_OPS:
+            row = [op]
+            for kind in SYSCALL_KINDS:
+                cell = _cell("syscall_table", kind=kind, depth=depth,
+                             warm=warm)
+                row.append(results[cell.id][op])
+            rows.append(row)
+        _print_table(["syscall", "v2", "v3", "v4", "iscsi"], rows)
+
+
+def cells_table4(mb: int = 16) -> List[Cell]:
+    # One cell per stack covering all four modes: the workload's shuffle
+    # RNG is shared across the modes, so they must run in one process.
+    return [_cell("seqrand_table", kind=kind, mb=mb)
+            for kind in ("nfsv3", "iscsi")]
+
+
+def render_table4(results, mb: int = 16) -> None:
+    rows = []
+    for cell in cells_table4(mb):
+        by_mode = results[cell.id]
+        for mode in TABLE4_MODES:
+            record = by_mode[mode]
+            rows.append([cell.params["kind"], mode,
+                         "%.2fs" % record["completion_time"],
+                         record["messages"],
+                         "%.1fMB" % (record["bytes"] / 1e6)])
+    print("%d MB streaming I/O" % mb)
+    _print_table(["stack", "mode", "time", "messages", "bytes"], rows)
+
+
+def cells_table5(transactions: int = 5000, files: int = 1000) -> List[Cell]:
+    return [_cell("postmark", kind=kind, files=files,
+                  transactions=transactions)
+            for kind in ("nfsv3", "nfs-enhanced", "iscsi")]
+
+
+def render_table5(results, transactions: int = 5000,
+                  files: int = 1000) -> None:
+    rows = []
+    for cell in cells_table5(transactions, files):
+        record = results[cell.id]
+        rows.append([cell.params["kind"],
+                     "%.2fs" % record["completion_time"],
+                     record["messages"],
+                     "%.0f%%" % (record["server_cpu"] * 100),
+                     "%.0f%%" % (record["client_cpu"] * 100)])
+    print("PostMark: %d transactions, %d files" % (transactions, files))
+    _print_table(["stack", "time", "messages", "srv CPU", "cli CPU"], rows)
+
+
+def cells_table6(transactions: int = 1000) -> List[Cell]:
+    return [_cell("tpcc", kind=kind, transactions=transactions)
+            for kind in ("nfsv3", "iscsi")]
+
+
+def render_table6(results, transactions: int = 1000) -> None:
+    rows = []
+    base = None
+    for cell in cells_table6(transactions):
+        record = results[cell.id]
+        base = base or record["throughput"]
+        rows.append([cell.params["kind"],
+                     "%.2f" % (record["throughput"] / base),
+                     record["messages"],
+                     "%.0f%%" % (record["server_cpu"] * 100)])
+    print("TPC-C-like OLTP: %d transactions" % transactions)
+    _print_table(["stack", "tpmC (norm)", "messages", "srv CPU"], rows)
+
+
+def cells_table7(queries: int = 4, mb: int = 128) -> List[Cell]:
+    return [_cell("tpch", kind=kind, queries=queries, mb=mb)
+            for kind in ("nfsv3", "iscsi")]
+
+
+def render_table7(results, queries: int = 4, mb: int = 128) -> None:
+    rows = []
+    base = None
+    for cell in cells_table7(queries, mb):
+        record = results[cell.id]
+        base = base or record["throughput"]
+        rows.append([cell.params["kind"],
+                     "%.2f" % (record["throughput"] / base),
+                     record["messages"],
+                     "%.0f%%" % (record["server_cpu"] * 100)])
+    print("TPC-H-like DSS: %d queries over %d MB" % (queries, mb))
+    _print_table(["stack", "QphH (norm)", "messages", "srv CPU"], rows)
+
+
+def cells_table8(dirs: int = 12) -> List[Cell]:
+    return [_cell("kernel_tree", kind=kind, dirs=dirs)
+            for kind in ("nfsv3", "iscsi")]
+
+
+def render_table8(results, dirs: int = 12) -> None:
+    rows = []
+    total_files = 0
+    for cell in cells_table8(dirs):
+        record = results[cell.id]
+        total_files = record["total_files"]
+        rows.append([cell.params["kind"],
+                     "%.2fs" % record["tar_seconds"],
+                     "%.2fs" % record["ls_seconds"],
+                     "%.2fs" % record["make_seconds"],
+                     "%.2fs" % record["rm_seconds"]])
+    print("kernel-tree ops (%d files)" % total_files)
+    _print_table(["stack", "tar", "ls -lR", "make", "rm -rf"], rows)
+
+
+def cells_tables910(transactions: int = 4000) -> List[Cell]:
+    cells = []
+    for kind in ("nfsv3", "iscsi"):
+        cells.append(_cell("postmark", kind=kind, files=500,
+                           transactions=transactions))
+        cells.append(_cell("tpcc", kind=kind,
+                           transactions=max(200, transactions // 8)))
+        cells.append(_cell("tpch", kind=kind, queries=3, mb=96))
+    return cells
+
+
+def render_tables910(results, transactions: int = 4000) -> None:
+    rows = []
+    for kind in ("nfsv3", "iscsi"):
+        pm = results[_cell("postmark", kind=kind, files=500,
+                           transactions=transactions).id]
+        cc = results[_cell("tpcc", kind=kind,
+                           transactions=max(200, transactions // 8)).id]
+        ch = results[_cell("tpch", kind=kind, queries=3, mb=96).id]
+        rows.append([kind,
+                     "%.0f%%/%.0f%%" % (pm["server_cpu"] * 100,
+                                        pm["client_cpu"] * 100),
+                     "%.0f%%/%.0f%%" % (cc["server_cpu"] * 100,
+                                        cc["client_cpu"] * 100),
+                     "%.0f%%/%.0f%%" % (ch["server_cpu"] * 100,
+                                        ch["client_cpu"] * 100)])
+    print("CPU utilization (server/client)")
+    _print_table(["stack", "PostMark", "TPC-C", "TPC-H"], rows)
+
+
+def cells_fig3(op: str = "mkdir") -> List[Cell]:
+    return [_cell("batching", op=op, batch=batch) for batch in FIG3_BATCHES]
+
+
+def render_fig3(results, op: str = "mkdir") -> None:
+    rows = [[cell.params["batch"], "%.2f" % results[cell.id]]
+            for cell in cells_fig3(op)]
+    _print_table(["batch", "msgs/op"], rows)
+
+
+def cells_fig4(op: str = "mkdir") -> List[Cell]:
+    cells = [_cell("depth_point", op=op, kind=kind, depth=depth, warm=False)
+             for kind in ("nfsv3", "nfsv4", "iscsi")
+             for depth in FIG4_DEPTHS]
+    cells.extend(_cell("depth_point", op=op, kind="iscsi", depth=depth,
+                       warm=True)
+                 for depth in FIG4_DEPTHS)
+    return cells
+
+
+def render_fig4(results, op: str = "mkdir") -> None:
+    rows = []
+    for kind in ("nfsv3", "nfsv4", "iscsi"):
+        rows.append([kind + " cold"] + [
+            results[_cell("depth_point", op=op, kind=kind, depth=depth,
+                          warm=False).id]
+            for depth in FIG4_DEPTHS])
+    rows.append(["iscsi warm"] + [
+        results[_cell("depth_point", op=op, kind="iscsi", depth=depth,
+                      warm=True).id]
+        for depth in FIG4_DEPTHS])
+    print("messages vs depth [%s]" % op)
+    _print_table(["series"] + ["d=%d" % d for d in FIG4_DEPTHS], rows)
+
+
+def cells_fig5() -> List[Cell]:
+    return [_cell("io_size_point", kind=kind, mode=mode, size=size)
+            for mode in ("cold-read", "warm-read", "cold-write")
+            for kind in SYSCALL_KINDS
+            for size in FIG5_SIZES]
+
+
+def render_fig5(results) -> None:
+    for mode in ("cold-read", "warm-read", "cold-write"):
+        print("\n%s" % mode)
+        rows = []
+        for kind in SYSCALL_KINDS:
+            rows.append([kind] + [
+                results[_cell("io_size_point", kind=kind, mode=mode,
+                              size=size).id]
+                for size in FIG5_SIZES])
+        _print_table(["stack"] + [str(s) for s in FIG5_SIZES], rows)
+
+
+def cells_fig6(mb: int = 4) -> List[Cell]:
+    return [_cell("seqrand", kind=kind, mode=mode, mb=mb, rtt=rtt)
+            for mode in ("seq-read", "seq-write")
+            for kind in ("nfsv3", "iscsi")
+            for rtt in FIG6_RTTS]
+
+
+def render_fig6(results, mb: int = 4) -> None:
+    for mode, label in (("seq-read", "read"), ("seq-write", "write")):
+        print("\nsequential %ss of a %d MB file" % (label, mb))
+        rows = []
+        for kind in ("nfsv3", "iscsi"):
+            row = [kind]
+            for rtt in FIG6_RTTS:
+                record = results[_cell("seqrand", kind=kind, mode=mode,
+                                       mb=mb, rtt=rtt).id]
+                row.append("%.1fs" % record["completion_time"])
+            rows.append(row)
+        _print_table(["stack"] + ["%dms" % int(r * 1000) for r in FIG6_RTTS],
+                     rows)
+
+
+def cells_fig7() -> List[Cell]:
+    return [_cell("sharing", profile=profile, limit=TRACE_LIMIT)
+            for profile in ("eecs", "campus")]
+
+
+def render_fig7(results) -> None:
+    from .traces import CAMPUS_PROFILE, EECS_PROFILE
+
+    names = {"eecs": EECS_PROFILE.name, "campus": CAMPUS_PROFILE.name}
+    for cell in cells_fig7():
+        print("\n%s trace" % names[cell.params["profile"]])
+        rows = []
+        for point in results[cell.id]:
+            rows.append(["%.0f" % point["interval"],
+                         "%.3f" % point["read_by_one"],
+                         "%.3f" % point["read_by_multiple"],
+                         "%.3f" % point["written_by_one"],
+                         "%.3f" % point["written_by_multiple"],
+                         "%.3f" % point["read_write_shared"]])
+        _print_table(["T", "r-by-1", "r-by-N", "w-by-1", "w-by-N", "rw"],
+                     rows)
+
+
+def cells_sec7() -> List[Cell]:
+    return [_cell("metadata_cache", limit=TRACE_LIMIT)]
+
+
+def render_sec7(results) -> None:
+    sweep = results[cells_sec7()[0].id]
+    rows = []
+    for size in sorted(sweep, key=int):
+        record = sweep[size]
+        rows.append([int(size), record["baseline_messages"],
+                     record["consistent_messages"],
+                     "%.1f%%" % (record["reduction"] * 100),
+                     "%.1e" % record["callback_ratio"]])
+    print("strongly-consistent meta-data cache (EECS-like trace)")
+    _print_table(["cache", "baseline", "consistent", "reduction", "cb ratio"],
+                 rows)
+
+
+# -- artifact commands ----------------------------------------------------------------
+
+
+def cmd_quick(args) -> int:
+    render_quick(_runner(args).run(cells_quick()))
     return 0
 
 
 def cmd_table2(args) -> int:
-    from .workloads import SYSCALL_OPS, run_syscall_table
-
-    results = run_syscall_table(depths=tuple(args.depth), warm=args.warm)
-    for depth in args.depth:
-        print("\n%s cache, depth %d" % ("warm" if args.warm else "cold", depth))
-        rows = [[op] + [results[depth][op][k]
-                        for k in ("nfsv2", "nfsv3", "nfsv4", "iscsi")]
-                for op in SYSCALL_OPS]
-        _print_table(["syscall", "v2", "v3", "v4", "iscsi"], rows)
+    depths = tuple(args.depth)
+    results = _runner(args).run(cells_syscalls(depths, args.warm))
+    render_syscalls(results, depths, args.warm)
     return 0
 
 
 def cmd_table4(args) -> int:
-    from .workloads import SeqRandWorkload
-
-    rows = []
-    for kind in ("nfsv3", "iscsi"):
-        workload = SeqRandWorkload(kind, file_mb=args.mb)
-        for mode, result in (
-            ("seq-read", workload.run_read(True)),
-            ("rand-read", workload.run_read(False)),
-            ("seq-write", workload.run_write(True)),
-            ("rand-write", workload.run_write(False)),
-        ):
-            rows.append([kind, mode, "%.2fs" % result.completion_time,
-                         result.messages, "%.1fMB" % (result.bytes / 1e6)])
-    print("%d MB streaming I/O" % args.mb)
-    _print_table(["stack", "mode", "time", "messages", "bytes"], rows)
+    render_table4(_runner(args).run(cells_table4(args.mb)), args.mb)
     return 0
 
 
 def cmd_table5(args) -> int:
-    from .workloads import PostMark
-
-    rows = []
-    for kind in ("nfsv3", "nfs-enhanced", "iscsi"):
-        result = PostMark(kind, file_count=args.files,
-                          transactions=args.transactions).run()
-        rows.append([kind, "%.2fs" % result.completion_time, result.messages,
-                     "%.0f%%" % (result.server_cpu * 100),
-                     "%.0f%%" % (result.client_cpu * 100)])
-    print("PostMark: %d transactions, %d files" % (args.transactions, args.files))
-    _print_table(["stack", "time", "messages", "srv CPU", "cli CPU"], rows)
+    results = _runner(args).run(cells_table5(args.transactions, args.files))
+    render_table5(results, args.transactions, args.files)
     return 0
 
 
 def cmd_table6(args) -> int:
-    from .workloads import TpccWorkload
-
-    rows = []
-    base = None
-    for kind in ("nfsv3", "iscsi"):
-        result = TpccWorkload(kind, transactions=args.transactions).run()
-        base = base or result.throughput
-        rows.append([kind, "%.2f" % (result.throughput / base),
-                     result.messages,
-                     "%.0f%%" % (result.server_cpu * 100)])
-    print("TPC-C-like OLTP: %d transactions" % args.transactions)
-    _print_table(["stack", "tpmC (norm)", "messages", "srv CPU"], rows)
+    results = _runner(args).run(cells_table6(args.transactions))
+    render_table6(results, args.transactions)
     return 0
 
 
 def cmd_table7(args) -> int:
-    from .workloads import TpchWorkload
-
-    rows = []
-    base = None
-    for kind in ("nfsv3", "iscsi"):
-        result = TpchWorkload(kind, queries=args.queries,
-                              database_mb=args.mb).run()
-        base = base or result.throughput
-        rows.append([kind, "%.2f" % (result.throughput / base),
-                     result.messages,
-                     "%.0f%%" % (result.server_cpu * 100)])
-    print("TPC-H-like DSS: %d queries over %d MB" % (args.queries, args.mb))
-    _print_table(["stack", "QphH (norm)", "messages", "srv CPU"], rows)
+    results = _runner(args).run(cells_table7(args.queries, args.mb))
+    render_table7(results, args.queries, args.mb)
     return 0
 
 
 def cmd_table8(args) -> int:
-    from .workloads import KernelTreeOps, TreeSpec
-
-    spec = TreeSpec(top_dirs=args.dirs)
-    rows = []
-    for kind in ("nfsv3", "iscsi"):
-        result = KernelTreeOps(kind, spec).run_all()
-        rows.append([kind, "%.2fs" % result.tar_seconds,
-                     "%.2fs" % result.ls_seconds,
-                     "%.2fs" % result.make_seconds,
-                     "%.2fs" % result.rm_seconds])
-    print("kernel-tree ops (%d files)" % spec.total_files)
-    _print_table(["stack", "tar", "ls -lR", "make", "rm -rf"], rows)
+    render_table8(_runner(args).run(cells_table8(args.dirs)), args.dirs)
     return 0
 
 
 def cmd_tables910(args) -> int:
-    from .workloads import PostMark, TpccWorkload, TpchWorkload
-
-    rows = []
-    for kind in ("nfsv3", "iscsi"):
-        pm = PostMark(kind, file_count=500,
-                      transactions=args.transactions).run()
-        cc = TpccWorkload(kind, transactions=max(200, args.transactions // 8)).run()
-        ch = TpchWorkload(kind, queries=3, database_mb=96).run()
-        rows.append([kind,
-                     "%.0f%%/%.0f%%" % (pm.server_cpu * 100, pm.client_cpu * 100),
-                     "%.0f%%/%.0f%%" % (cc.server_cpu * 100, cc.client_cpu * 100),
-                     "%.0f%%/%.0f%%" % (ch.server_cpu * 100, ch.client_cpu * 100)])
-    print("CPU utilization (server/client)")
-    _print_table(["stack", "PostMark", "TPC-C", "TPC-H"], rows)
+    results = _runner(args).run(cells_tables910(args.transactions))
+    render_tables910(results, args.transactions)
     return 0
 
 
 def cmd_fig3(args) -> int:
-    from .workloads import run_batching_sweep
-
-    sweep = run_batching_sweep(args.op)
-    _print_table(["batch", "msgs/op"],
-                 [[n, "%.2f" % v] for n, v in sorted(sweep.items())])
+    render_fig3(_runner(args).run(cells_fig3(args.op)), args.op)
     return 0
 
 
 def cmd_fig4(args) -> int:
-    from .workloads import run_depth_sweep
-
-    rows = []
-    depths = tuple(range(0, 17, 4))
-    for kind in ("nfsv3", "nfsv4", "iscsi"):
-        sweep = run_depth_sweep(args.op, kind, depths)
-        rows.append([kind + " cold"] + [sweep[d] for d in depths])
-    warm = run_depth_sweep(args.op, "iscsi", depths, warm=True)
-    rows.append(["iscsi warm"] + [warm[d] for d in depths])
-    print("messages vs depth [%s]" % args.op)
-    _print_table(["series"] + ["d=%d" % d for d in depths], rows)
+    render_fig4(_runner(args).run(cells_fig4(args.op)), args.op)
     return 0
 
 
-def cmd_fig5(_args) -> int:
-    from .workloads import run_io_size_sweep
-
-    sizes = tuple(2 ** e for e in range(7, 17))
-    for mode in ("cold-read", "warm-read", "cold-write"):
-        print("\n%s" % mode)
-        rows = []
-        for kind in ("nfsv2", "nfsv3", "nfsv4", "iscsi"):
-            sweep = run_io_size_sweep(kind, mode, sizes=sizes)
-            rows.append([kind] + [sweep[s] for s in sizes])
-        _print_table(["stack"] + [str(s) for s in sizes], rows)
+def cmd_fig5(args) -> int:
+    render_fig5(_runner(args).run(cells_fig5()))
     return 0
 
 
 def cmd_fig6(args) -> int:
-    from .workloads import SeqRandWorkload
-
-    rtts = (0.010, 0.030, 0.050, 0.070, 0.090)
-    for mode in ("read", "write"):
-        print("\nsequential %ss of a %d MB file" % (mode, args.mb))
-        rows = []
-        for kind in ("nfsv3", "iscsi"):
-            row = [kind]
-            for rtt in rtts:
-                workload = SeqRandWorkload(kind, file_mb=args.mb, rtt=rtt)
-                result = (workload.run_read(True) if mode == "read"
-                          else workload.run_write(True))
-                row.append("%.1fs" % result.completion_time)
-            rows.append(row)
-        _print_table(["stack"] + ["%dms" % int(r * 1000) for r in rtts], rows)
+    render_fig6(_runner(args).run(cells_fig6(args.mb)), args.mb)
     return 0
 
 
-def cmd_fig7(_args) -> int:
-    from .traces import (CAMPUS_PROFILE, EECS_PROFILE, TraceGenerator,
-                         analyze_sharing)
-
-    for profile in (EECS_PROFILE, CAMPUS_PROFILE):
-        events = list(TraceGenerator(profile).events(limit=150_000))
-        print("\n%s trace" % profile.name)
-        rows = []
-        for point in analyze_sharing(events):
-            rows.append(["%.0f" % point.interval,
-                         "%.3f" % point.read_by_one,
-                         "%.3f" % point.read_by_multiple,
-                         "%.3f" % point.written_by_one,
-                         "%.3f" % point.written_by_multiple,
-                         "%.3f" % point.read_write_shared])
-        _print_table(["T", "r-by-1", "r-by-N", "w-by-1", "w-by-N", "rw"], rows)
+def cmd_fig7(args) -> int:
+    render_fig7(_runner(args).run(cells_fig7()))
     return 0
 
 
-def cmd_sec7(_args) -> int:
-    from .traces import EECS_PROFILE, TraceGenerator, sweep_cache_sizes
+def cmd_sec7(args) -> int:
+    render_sec7(_runner(args).run(cells_sec7()))
+    return 0
 
-    events = list(TraceGenerator(EECS_PROFILE).events(limit=150_000))
-    rows = []
-    for size, result in sorted(sweep_cache_sizes(events).items()):
-        rows.append([size, result.baseline_messages, result.consistent_messages,
-                     "%.1f%%" % (result.reduction * 100),
-                     "%.1e" % result.callback_ratio])
-    print("strongly-consistent meta-data cache (EECS-like trace)")
-    _print_table(["cache", "baseline", "consistent", "reduction", "cb ratio"],
-                 rows)
+
+# -- all: the whole paper in one run -------------------------------------------------
+
+# Section order mirrors the paper; table9/table10 share one cell set.
+ALL_SECTIONS: Tuple[Tuple[str, Any, Any], ...] = (
+    ("quick", cells_quick, render_quick),
+    ("table2", lambda: cells_syscalls((0, 3), False),
+     lambda results: render_syscalls(results, (0, 3), False)),
+    ("table3", lambda: cells_syscalls((0,), True),
+     lambda results: render_syscalls(results, (0,), True)),
+    ("table4", cells_table4, render_table4),
+    ("table5", cells_table5, render_table5),
+    ("table6", cells_table6, render_table6),
+    ("table7", cells_table7, render_table7),
+    ("table8", cells_table8, render_table8),
+    ("table9/table10", cells_tables910, render_tables910),
+    ("fig3", cells_fig3, render_fig3),
+    ("fig4", cells_fig4, render_fig4),
+    ("fig5", cells_fig5, render_fig5),
+    ("fig6", cells_fig6, render_fig6),
+    ("fig7", cells_fig7, render_fig7),
+    ("sec7", cells_sec7, render_sec7),
+)
+
+
+def all_cells() -> List[Cell]:
+    """Every cell of every section, deduplicated, in section order."""
+    cells: List[Cell] = []
+    seen = set()
+    for _name, cells_fn, _render in ALL_SECTIONS:
+        for cell in cells_fn():
+            if cell.id not in seen:
+                seen.add(cell.id)
+                cells.append(cell)
+    return cells
+
+
+def cmd_all(args) -> int:
+    runner = ExperimentRunner(jobs=args.jobs, use_cache=not args.no_cache)
+    results = runner.run(all_cells())
+    for name, _cells_fn, render in ALL_SECTIONS:
+        print("\n== %s ==" % name)
+        render(results)
+    print("\n%d cells (%d cached, %d computed), jobs=%s"
+          % (runner.cache_hits + runner.cache_misses, runner.cache_hits,
+             runner.cache_misses, args.jobs or 1))
     return 0
 
 
@@ -347,7 +572,8 @@ def cmd_bench(args) -> int:
             baseline, current, tolerance=args.tolerance)
         print(bench.format_compare(regressions, notes))
         return 1 if regressions else 0
-    result = bench.run_suite(args.suite)
+    runner = ExperimentRunner(jobs=args.jobs, use_cache=args.cache)
+    result = bench.run_suite(args.suite, runner=runner)
     rows = []
     for case in sorted(result["cases"]):
         record = result["cases"][case]
@@ -369,61 +595,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list").set_defaults(func=cmd_list)
-    sub.add_parser("quick").set_defaults(func=cmd_quick)
+    # Shared by every artifact subcommand: process-pool fan-out.
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run experiment cells on N worker processes "
+             "(default: serial in-process; output is identical)")
 
-    t2 = sub.add_parser("table2")
+    sub.add_parser("list").set_defaults(func=cmd_list)
+    sub.add_parser("quick", parents=[jobs_parent]).set_defaults(func=cmd_quick)
+
+    al = sub.add_parser(
+        "all", parents=[jobs_parent],
+        help="regenerate every table and figure (parallel, cached)",
+    )
+    al.add_argument("--no-cache", action="store_true",
+                    help="recompute every cell, ignoring the result cache")
+    al.set_defaults(func=cmd_all)
+
+    t2 = sub.add_parser("table2", parents=[jobs_parent])
     t2.add_argument("--depth", type=int, nargs="+", default=[0, 3])
     t2.set_defaults(func=cmd_table2, warm=False)
-    t3 = sub.add_parser("table3")
+    t3 = sub.add_parser("table3", parents=[jobs_parent])
     t3.add_argument("--depth", type=int, nargs="+", default=[0])
     t3.set_defaults(func=cmd_table2, warm=True)
 
-    t4 = sub.add_parser("table4")
+    t4 = sub.add_parser("table4", parents=[jobs_parent])
     t4.add_argument("--mb", type=int, default=16)
     t4.set_defaults(func=cmd_table4)
 
-    t5 = sub.add_parser("table5")
+    t5 = sub.add_parser("table5", parents=[jobs_parent])
     t5.add_argument("--transactions", type=int, default=5000)
     t5.add_argument("--files", type=int, default=1000)
     t5.set_defaults(func=cmd_table5)
 
-    t6 = sub.add_parser("table6")
+    t6 = sub.add_parser("table6", parents=[jobs_parent])
     t6.add_argument("--transactions", type=int, default=1000)
     t6.set_defaults(func=cmd_table6)
 
-    t7 = sub.add_parser("table7")
+    t7 = sub.add_parser("table7", parents=[jobs_parent])
     t7.add_argument("--queries", type=int, default=4)
     t7.add_argument("--mb", type=int, default=128)
     t7.set_defaults(func=cmd_table7)
 
-    t8 = sub.add_parser("table8")
+    t8 = sub.add_parser("table8", parents=[jobs_parent])
     t8.add_argument("--dirs", type=int, default=12)
     t8.set_defaults(func=cmd_table8)
 
-    t9 = sub.add_parser("table9")
+    t9 = sub.add_parser("table9", parents=[jobs_parent])
     t9.add_argument("--transactions", type=int, default=4000)
     t9.set_defaults(func=cmd_tables910)
-    t10 = sub.add_parser("table10")
+    t10 = sub.add_parser("table10", parents=[jobs_parent])
     t10.add_argument("--transactions", type=int, default=4000)
     t10.set_defaults(func=cmd_tables910)
 
-    f3 = sub.add_parser("fig3")
+    f3 = sub.add_parser("fig3", parents=[jobs_parent])
     f3.add_argument("--op", default="mkdir")
     f3.set_defaults(func=cmd_fig3)
 
-    f4 = sub.add_parser("fig4")
+    f4 = sub.add_parser("fig4", parents=[jobs_parent])
     f4.add_argument("--op", default="mkdir")
     f4.set_defaults(func=cmd_fig4)
 
-    sub.add_parser("fig5").set_defaults(func=cmd_fig5)
+    sub.add_parser("fig5", parents=[jobs_parent]).set_defaults(func=cmd_fig5)
 
-    f6 = sub.add_parser("fig6")
+    f6 = sub.add_parser("fig6", parents=[jobs_parent])
     f6.add_argument("--mb", type=int, default=4)
     f6.set_defaults(func=cmd_fig6)
 
-    sub.add_parser("fig7").set_defaults(func=cmd_fig7)
-    sub.add_parser("sec7").set_defaults(func=cmd_sec7)
+    sub.add_parser("fig7", parents=[jobs_parent]).set_defaults(func=cmd_fig7)
+    sub.add_parser("sec7", parents=[jobs_parent]).set_defaults(func=cmd_sec7)
 
     tr = sub.add_parser(
         "trace",
@@ -445,7 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr.set_defaults(func=cmd_trace)
 
     be = sub.add_parser(
-        "bench",
+        "bench", parents=[jobs_parent],
         help="run a benchmark suite to BENCH_<suite>.json, or compare "
              "two result files for regressions",
     )
@@ -459,6 +700,9 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional completion-time growth "
                          "(default 0.15; message counts must be exact)")
+    be.add_argument("--cache", action="store_true",
+                    help="serve unchanged cases from the result cache "
+                         "(off by default: bench is the regression gate)")
     be.set_defaults(func=cmd_bench)
     return parser
 

@@ -1,0 +1,423 @@
+"""Parallel, cached experiment engine.
+
+Every artifact in the paper reproduction — the tables, the figures, the
+Section-7 what-ifs, and the ``repro bench`` suites — decomposes into
+*cells*: pure, independent computations of the form ``kind(**params) ->
+JSON-able result`` (one stack x workload x parameter point).  Cells never
+share simulator state, so they parallelize perfectly, exactly like the
+independent transfer streams that gave the related iSCSI work its
+throughput wins.
+
+:class:`ExperimentRunner` executes a list of :class:`Cell` specs:
+
+* **fan-out** — cells run on a ``concurrent.futures.ProcessPoolExecutor``
+  when ``jobs > 1`` (in-process when ``jobs`` is 1/None, so tests and
+  debugging stay single-process);
+* **deterministic merge** — results are keyed and ordered by cell id,
+  never by completion order, so ``--jobs 1`` and ``--jobs 8`` produce
+  byte-identical merged output;
+* **content-addressed cache** — each result is stored on disk under
+  ``sha256(repro version + cell kind + params)``; re-running an unchanged
+  cell is a file read.  Any change to the package version or to a cell's
+  parameters changes the key and forces a recompute.
+
+Every cell result is canonicalized through a JSON round-trip before it is
+merged, so fresh, pooled, and cached results are structurally identical
+(e.g. integer dict keys always come back as strings).
+
+The built-in cell kinds cover every experiment the CLI can run; new
+kinds register with :func:`cell_kind` (the function must be importable
+from a module top level so pool workers can find it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Cell",
+    "ExperimentRunner",
+    "CELL_KINDS",
+    "cell_kind",
+    "cell_key",
+    "default_cache_dir",
+]
+
+
+# -- cell specs ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One pure experiment cell: ``CELL_KINDS[kind](**params)``.
+
+    ``id`` is the stable merge key (results are ordered by the position of
+    the cell in the submitted list and keyed by ``id``); ``params`` must
+    be JSON-serializable.
+    """
+
+    id: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+CELL_KINDS: Dict[str, Callable[..., Any]] = {}
+
+
+def cell_kind(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a cell-kind function under ``name`` (decorator)."""
+
+    def register(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in CELL_KINDS:
+            raise ValueError("cell kind %r already registered" % (name,))
+        CELL_KINDS[name] = fn
+        return fn
+
+    return register
+
+
+def cell_key(cell: Cell) -> str:
+    """Content-addressed cache key: repro version + kind + params."""
+    from .. import __version__
+
+    spec = json.dumps(
+        {"version": __version__, "kind": cell.kind, "params": cell.params},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _execute_cell(spec: Tuple[str, str, str]) -> Tuple[str, Any]:
+    """Pool worker: run one cell from its JSON spec; returns (id, result).
+
+    Module-level so it pickles; results are canonicalized through JSON so
+    a pooled result is byte-for-byte the same as an in-process one.
+    """
+    cell_id, kind, params_json = spec
+    fn = CELL_KINDS[kind]
+    result = fn(**json.loads(params_json))
+    return cell_id, json.loads(json.dumps(result))
+
+
+class ExperimentRunner:
+    """Run experiment cells with optional parallelism and result caching.
+
+    ``jobs``     — worker processes; ``None`` or 1 runs in-process.
+    ``cache_dir``— result cache location (:func:`default_cache_dir`).
+    ``use_cache``— when False, neither reads nor writes the cache.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 use_cache: bool = True):
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self.use_cache = use_cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache ----------------------------------------------------------------
+
+    def _cache_path(self, cell: Cell) -> str:
+        return os.path.join(self.cache_dir, cell_key(cell) + ".json")
+
+    def cache_get(self, cell: Cell) -> Optional[Any]:
+        """Return the cached result for ``cell``, or None."""
+        if not self.use_cache:
+            return None
+        path = self._cache_path(cell)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return document.get("result")
+
+    def cache_put(self, cell: Cell, result: Any) -> None:
+        """Store ``result`` for ``cell`` (atomic rename, best-effort)."""
+        if not self.use_cache:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(cell)
+        tmp = path + ".tmp.%d" % os.getpid()
+        document = {"cell": cell.id, "kind": cell.kind,
+                    "params": cell.params, "result": result}
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, cells: Iterable[Cell]) -> "Dict[str, Any]":
+        """Execute every cell; return ``{cell.id: result}`` in cell order.
+
+        Cached cells are served from disk; the rest fan out over the pool
+        (or run inline).  The merge is deterministic: insertion order is
+        the submitted cell order regardless of completion order.
+        """
+        cells = list(cells)
+        seen = set()
+        for cell in cells:
+            if cell.kind not in CELL_KINDS:
+                raise ValueError("unknown cell kind %r" % (cell.kind,))
+            if cell.id in seen:
+                raise ValueError("duplicate cell id %r" % (cell.id,))
+            seen.add(cell.id)
+
+        resolved: Dict[str, Any] = {}
+        pending: List[Cell] = []
+        for cell in cells:
+            cached = self.cache_get(cell)
+            if cached is not None:
+                self.cache_hits += 1
+                resolved[cell.id] = cached
+            else:
+                self.cache_misses += 1
+                pending.append(cell)
+
+        if pending:
+            if self.jobs is None or self.jobs <= 1 or len(pending) == 1:
+                for cell in pending:
+                    _cell_id, result = _execute_cell(self._spec(cell))
+                    self.cache_put(cell, result)
+                    resolved[cell.id] = result
+            else:
+                by_id = {cell.id: cell for cell in pending}
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = {pool.submit(_execute_cell, self._spec(cell))
+                               for cell in pending}
+                    while futures:
+                        done, futures = wait(futures,
+                                             return_when=FIRST_COMPLETED)
+                        for future in done:
+                            cell_id, result = future.result()
+                            self.cache_put(by_id[cell_id], result)
+                            resolved[cell_id] = result
+
+        # Deterministic merge: submitted order, never completion order.
+        return {cell.id: resolved[cell.id] for cell in cells}
+
+    @staticmethod
+    def _spec(cell: Cell) -> Tuple[str, str, str]:
+        return (cell.id, cell.kind,
+                json.dumps(cell.params, sort_keys=True))
+
+
+# -- built-in cell kinds ------------------------------------------------------
+# One function per experiment family.  All imports are lazy so the module
+# stays importable from anywhere in the package (and cheap for workers),
+# and every function returns plain JSON-able data.
+
+
+@cell_kind("quick")
+def _cell_quick(kind: str) -> Dict[str, Any]:
+    """The ``repro quick`` smoke row for one stack kind."""
+    from .comparison import make_stack
+
+    stack = make_stack(kind)
+    client = stack.client
+
+    def work():
+        yield from client.mkdir("/d")
+        fd = yield from client.creat("/d/f")
+        yield from client.write(fd, 16_384)
+        yield from client.close(fd)
+        yield from client.stat("/d/f")
+
+    snap = stack.snapshot()
+    stack.run(work())
+    stack.quiesce()
+    delta = stack.delta(snap)
+    return {"messages": delta.messages, "bytes": delta.total_bytes,
+            "now_s": stack.now}
+
+
+@cell_kind("syscall_table")
+def _cell_syscall_table(kind: str, depth: int, warm: bool) -> Dict[str, int]:
+    """One (stack, depth) column of Table 2 (cold) or Table 3 (warm)."""
+    from ..workloads import run_syscall_table
+
+    table = run_syscall_table(kinds=(kind,), depths=(depth,), warm=warm)
+    return {op: row[kind] for op, row in table[depth].items()}
+
+
+@cell_kind("seqrand")
+def _cell_seqrand(kind: str, mode: str, mb: int,
+                  rtt: Optional[float] = None) -> Dict[str, Any]:
+    """One streaming-I/O cell of Table 4 / Figure 6."""
+    from ..workloads import SeqRandWorkload
+
+    workload = SeqRandWorkload(kind, file_mb=mb, rtt=rtt)
+    if mode == "seq-read":
+        result = workload.run_read(True)
+    elif mode == "rand-read":
+        result = workload.run_read(False)
+    elif mode == "seq-write":
+        result = workload.run_write(True)
+    elif mode == "rand-write":
+        result = workload.run_write(False)
+    else:
+        raise ValueError("unknown mode %r" % (mode,))
+    return {"completion_time": result.completion_time,
+            "messages": result.messages, "bytes": result.bytes,
+            "retransmissions": result.retransmissions}
+
+
+@cell_kind("seqrand_table")
+def _cell_seqrand_table(kind: str, mb: int) -> Dict[str, Any]:
+    """All four Table 4 modes for one stack, on one shared workload.
+
+    One cell, not four: the workload's shuffle RNG is shared across the
+    modes (rand-write sees the state rand-read left behind), so splitting
+    the modes into separate cells would change the random-write chunk
+    order and drift the message counts.
+    """
+    from ..workloads import SeqRandWorkload
+
+    workload = SeqRandWorkload(kind, file_mb=mb)
+    results = {}
+    for mode, result in (
+        ("seq-read", workload.run_read(True)),
+        ("rand-read", workload.run_read(False)),
+        ("seq-write", workload.run_write(True)),
+        ("rand-write", workload.run_write(False)),
+    ):
+        results[mode] = {"completion_time": result.completion_time,
+                         "messages": result.messages, "bytes": result.bytes,
+                         "retransmissions": result.retransmissions}
+    return results
+
+
+@cell_kind("postmark")
+def _cell_postmark(kind: str, files: int, transactions: int) -> Dict[str, Any]:
+    """One PostMark row (Tables 5 and 9/10 share this kind)."""
+    from ..workloads import PostMark
+
+    result = PostMark(kind, file_count=files, transactions=transactions).run()
+    return {"completion_time": result.completion_time,
+            "messages": result.messages,
+            "server_cpu": result.server_cpu, "client_cpu": result.client_cpu}
+
+
+@cell_kind("tpcc")
+def _cell_tpcc(kind: str, transactions: int) -> Dict[str, Any]:
+    """One TPC-C-like OLTP row (Tables 6 and 9/10)."""
+    from ..workloads import TpccWorkload
+
+    result = TpccWorkload(kind, transactions=transactions).run()
+    return {"throughput": result.throughput, "messages": result.messages,
+            "server_cpu": result.server_cpu, "client_cpu": result.client_cpu}
+
+
+@cell_kind("tpch")
+def _cell_tpch(kind: str, queries: int, mb: int) -> Dict[str, Any]:
+    """One TPC-H-like DSS row (Tables 7 and 9/10)."""
+    from ..workloads import TpchWorkload
+
+    result = TpchWorkload(kind, queries=queries, database_mb=mb).run()
+    return {"throughput": result.throughput, "messages": result.messages,
+            "server_cpu": result.server_cpu, "client_cpu": result.client_cpu}
+
+
+@cell_kind("kernel_tree")
+def _cell_kernel_tree(kind: str, dirs: int) -> Dict[str, Any]:
+    """One kernel-tree-operations row of Table 8."""
+    from ..workloads import KernelTreeOps, TreeSpec
+
+    spec = TreeSpec(top_dirs=dirs)
+    result = KernelTreeOps(kind, spec).run_all()
+    return {"tar_seconds": result.tar_seconds,
+            "ls_seconds": result.ls_seconds,
+            "make_seconds": result.make_seconds,
+            "rm_seconds": result.rm_seconds,
+            "total_files": spec.total_files}
+
+
+@cell_kind("batching")
+def _cell_batching(op: str, batch: int) -> float:
+    """One batch-size point of Figure 3 (amortized messages/op)."""
+    from ..workloads import run_batching_sweep
+
+    return run_batching_sweep(op, batch_sizes=(batch,))[batch]
+
+
+@cell_kind("depth_point")
+def _cell_depth_point(op: str, kind: str, depth: int, warm: bool) -> int:
+    """One (stack, depth) point of Figure 4."""
+    from ..workloads import run_depth_sweep
+
+    return run_depth_sweep(op, kind, depths=(depth,), warm=warm)[depth]
+
+
+@cell_kind("io_size_point")
+def _cell_io_size_point(kind: str, mode: str, size: int) -> int:
+    """One (stack, mode, size) point of Figure 5."""
+    from ..workloads import run_io_size_sweep
+
+    return run_io_size_sweep(kind, mode, sizes=(size,))[size]
+
+
+@cell_kind("sharing")
+def _cell_sharing(profile: str, limit: int) -> List[Dict[str, float]]:
+    """Figure 7 sharing analysis for one trace profile."""
+    from ..traces import (CAMPUS_PROFILE, EECS_PROFILE, TraceGenerator,
+                          analyze_sharing)
+
+    profiles = {"eecs": EECS_PROFILE, "campus": CAMPUS_PROFILE}
+    chosen = profiles[profile]
+    events = list(TraceGenerator(chosen).events(limit=limit))
+    return [
+        {"interval": point.interval,
+         "read_by_one": point.read_by_one,
+         "read_by_multiple": point.read_by_multiple,
+         "written_by_one": point.written_by_one,
+         "written_by_multiple": point.written_by_multiple,
+         "read_write_shared": point.read_write_shared}
+        for point in analyze_sharing(events)
+    ]
+
+
+@cell_kind("metadata_cache")
+def _cell_metadata_cache(limit: int) -> Dict[str, Dict[str, Any]]:
+    """The Section-7 consistent-meta-data-cache sweep (EECS-like trace)."""
+    from ..traces import EECS_PROFILE, TraceGenerator, sweep_cache_sizes
+
+    events = list(TraceGenerator(EECS_PROFILE).events(limit=limit))
+    out = {}
+    for size, result in sweep_cache_sizes(events).items():
+        out[str(size)] = {
+            "baseline_messages": result.baseline_messages,
+            "consistent_messages": result.consistent_messages,
+            "reduction": result.reduction,
+            "callback_ratio": result.callback_ratio,
+        }
+    return out
+
+
+@cell_kind("bench_case")
+def _cell_bench_case(workload: str, stack: str) -> Dict[str, Any]:
+    """One traced case of a ``repro bench`` suite."""
+    from ..obs.bench import run_case
+
+    return run_case(workload, stack)

@@ -26,6 +26,9 @@ GIGABIT_BPS = 125_000_000  # 1 Gb/s expressed in bytes per second
 class _Channel:
     """One direction of the link: a FIFO serial transmission line."""
 
+    __slots__ = ("sim", "latency", "bandwidth", "_busy_until",
+                 "bytes_carried")
+
     def __init__(self, sim: Simulator, latency: float, bandwidth: float):
         self.sim = sim
         self.latency = latency
@@ -45,6 +48,8 @@ class _Channel:
 
 class Link:
     """A full-duplex client<->server link."""
+
+    __slots__ = ("sim", "rtt", "forward", "backward")
 
     def __init__(
         self,

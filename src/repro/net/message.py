@@ -4,13 +4,16 @@ A :class:`Message` is the unit the paper's Ethereal traces counted: one
 protocol-level request or reply (an RPC call/reply for NFS, a command or
 response PDU for iSCSI).  Size accounting separates protocol header bytes
 from payload bytes so byte totals track the paper's "Bytes" columns.
+
+``Message`` is a plain ``__slots__`` class (not a dataclass): one instance
+is allocated per protocol message, which makes it one of the hottest
+allocation sites in a simulation run.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["Message", "REQUEST", "REPLY"]
 
@@ -20,20 +23,34 @@ REPLY = "reply"
 _xid_counter = itertools.count(1)
 
 
-@dataclass
 class Message:
     """One protocol message on the wire."""
 
-    op: str
-    kind: str = REQUEST
-    xid: int = field(default_factory=lambda: next(_xid_counter))
-    header_bytes: int = 128
-    payload_bytes: int = 0
-    body: Dict[str, Any] = field(default_factory=dict)
-    is_retransmission: bool = False
-    # Observability: id of the tracing span that sent this message (0 when
-    # untraced).  Lets the server parent its work to the client's span.
-    span_id: int = 0
+    __slots__ = ("op", "kind", "xid", "header_bytes", "payload_bytes",
+                 "body", "is_retransmission", "span_id")
+
+    def __init__(
+        self,
+        op: str,
+        kind: str = REQUEST,
+        xid: Optional[int] = None,
+        header_bytes: int = 128,
+        payload_bytes: int = 0,
+        body: Optional[Dict[str, Any]] = None,
+        is_retransmission: bool = False,
+        # Observability: id of the tracing span that sent this message (0
+        # when untraced).  Lets the server parent its work to the client's
+        # span.
+        span_id: int = 0,
+    ):
+        self.op = op
+        self.kind = kind
+        self.xid = next(_xid_counter) if xid is None else xid
+        self.header_bytes = header_bytes
+        self.payload_bytes = payload_bytes
+        self.body = {} if body is None else body
+        self.is_retransmission = is_retransmission
+        self.span_id = span_id
 
     @property
     def size(self) -> int:

@@ -27,6 +27,8 @@ __all__ = ["Endpoint", "DuplexTransport"]
 class Endpoint:
     """One side of a transport: an inbox of delivered messages."""
 
+    __slots__ = ("sim", "name", "inbox")
+
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name
@@ -92,4 +94,5 @@ class DuplexTransport:
         delay = channel.delivery_delay(message.size)
         if not self.reliable and self.rng.random() < self.loss_rate:
             return  # the bytes were spent; the message never arrives
-        self.sim._schedule_call(lambda: destination.inbox.put(message), delay)
+        # Flat calendar record: no per-message closure allocation.
+        self.sim._schedule_call1(destination.inbox.put, message, delay)

@@ -34,6 +34,7 @@ __all__ = [
     "SUITES",
     "run_case",
     "run_suite",
+    "suite_cells",
     "write_bench",
     "load_bench",
     "compare",
@@ -225,15 +226,36 @@ def run_case(workload: str, kind: str) -> Dict[str, Any]:
     }
 
 
-def run_suite(suite: str) -> Dict[str, Any]:
-    """Run every case of the named suite; return the versioned document."""
+def suite_cells(suite: str):
+    """The suite as a list of runner cells (one per workload x stack)."""
+    from ..core.runner import Cell
+
     if suite not in SUITES:
         raise ValueError("unknown suite %r; one of %s"
                          % (suite, sorted(SUITES)))
-    cases = {}
-    for workload, kinds in SUITES[suite]:
-        for kind in kinds:
-            cases["%s/%s" % (workload, kind)] = run_case(workload, kind)
+    return [
+        Cell("%s/%s" % (workload, kind), "bench_case",
+             {"workload": workload, "stack": kind})
+        for workload, kinds in SUITES[suite]
+        for kind in kinds
+    ]
+
+
+def run_suite(suite: str, runner: Optional[Any] = None) -> Dict[str, Any]:
+    """Run every case of the named suite; return the versioned document.
+
+    ``runner`` is an optional
+    :class:`~repro.core.runner.ExperimentRunner` providing parallel
+    fan-out and result caching; by default the cases run serially
+    in-process with no cache.  Either way the case records are keyed and
+    ordered by cell id, so the emitted document is byte-identical across
+    ``--jobs`` settings.
+    """
+    from ..core.runner import ExperimentRunner
+
+    if runner is None:
+        runner = ExperimentRunner(jobs=None, use_cache=False)
+    cases = runner.run(suite_cells(suite))
     return {"schema": SCHEMA_VERSION, "suite": suite, "cases": cases}
 
 

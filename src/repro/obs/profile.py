@@ -131,6 +131,7 @@ class Profile:
     def __init__(self, tracer: Tracer, roots: Optional[Sequence[Span]] = None):
         self.tracer = tracer
         self._children = tracer.span_children()
+        self._paths: Dict[int, List[PathSegment]] = {}
         if roots is None:
             roots = [s for s in tracer.spans if s.cat == "syscall"]
             if not roots:
@@ -155,9 +156,16 @@ class Profile:
         """The blocking-chain tiling of ``root``'s interval, in time order.
 
         The segment durations sum to ``root.duration`` exactly — every
-        instant is attributed to precisely one span.
+        instant is attributed to precisely one span.  Tilings are
+        memoized per root: :meth:`attribution` and
+        :meth:`critical_path_summary` both traverse every root, and the
+        tree (hence the tiling) cannot change after the recording.
         """
-        return _critical_path(root, self._children)
+        cached = self._paths.get(root.id)
+        if cached is None:
+            cached = self._paths[root.id] = _critical_path(
+                root, self._children)
+        return cached
 
     @property
     def accounted(self) -> float:

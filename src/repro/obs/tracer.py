@@ -150,8 +150,13 @@ class NullTracer:
 
     Components hold a tracer unconditionally and guard instrumentation
     with ``if tracer.enabled:``; with this singleton in place no code path
-    differs from an uninstrumented build.
+    differs from an uninstrumented build.  ``__slots__`` is empty so the
+    singleton carries no per-instance dict and ``enabled`` resolves as a
+    plain class attribute — the no-op path is a single attribute load and
+    branch at every instrumentation site.
     """
+
+    __slots__ = ()
 
     enabled = False
 
@@ -217,7 +222,7 @@ class Tracer(NullTracer):
                    parent: Optional[int] = None, **args: Any) -> Span:
         """Open a span; parent defaults to the current process's innermost
         open span (or its ``trace_parent`` attribute when none is open)."""
-        proc = getattr(self.sim, "_active_process", None)
+        proc = self.sim._active_process
         stack = self._stacks.get(proc)
         if parent is None:
             if stack:
@@ -226,7 +231,7 @@ class Tracer(NullTracer):
                 parent = getattr(proc, "trace_parent", None)
         span = Span(
             next(self._ids), name, cat, track, parent,
-            self._tid_for(proc), getattr(proc, "name", "main"),
+            self._tid_for(proc), proc.name if proc is not None else "main",
             self.sim.now, args,
         )
         span.proc_ref = proc
@@ -244,7 +249,10 @@ class Tracer(NullTracer):
             span.args.update(args)
         stack = self._stacks.get(span.proc_ref)
         if stack is not None:
-            if span in stack:
+            # Spans close LIFO in the overwhelmingly common case.
+            if stack and stack[-1] is span:
+                stack.pop()
+            elif span in stack:
                 stack.remove(span)
             if not stack:
                 self._stacks.pop(span.proc_ref, None)
@@ -260,7 +268,7 @@ class Tracer(NullTracer):
         Used by layers that spawn concurrent sub-processes (RAID fan-out,
         write-back) to seed the children's ``trace_parent``.
         """
-        proc = getattr(self.sim, "_active_process", None)
+        proc = self.sim._active_process
         stack = self._stacks.get(proc)
         if stack:
             return stack[-1].id
@@ -290,7 +298,7 @@ class Tracer(NullTracer):
         self.messages.append(MessageEvent(
             self.sim.now, direction, msg.op, msg.kind,
             msg.header_bytes, msg.payload_bytes, msg.xid,
-            msg.is_retransmission, getattr(msg, "span_id", 0),
+            msg.is_retransmission, msg.span_id,
         ))
 
     # -- utilization sampling ---------------------------------------------------

@@ -12,6 +12,15 @@ deterministic, and tailored to this project:
   seeded ``random.Random``; the kernel itself is fully deterministic —
   simultaneous events fire in scheduling order.
 
+Performance notes
+-----------------
+The calendar holds flat ``(when, seq, kind, target, payload)`` records
+instead of closures: scheduling never allocates a lambda, and the run
+loop dispatches on the small integer ``kind`` directly.  ``seq`` is
+unique, so heap comparisons never reach ``kind`` — the firing order is
+exactly the ``(when, seq)`` contract the experiments rely on.  All
+per-event classes use ``__slots__``.
+
 Example
 -------
 >>> sim = Simulator()
@@ -26,7 +35,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -39,6 +48,19 @@ __all__ = [
     "SimulationError",
     "Simulator",
 ]
+
+# Calendar record kinds (index 2 of each record).  Ordered by hotness in
+# the run-loop dispatch: event processing dominates, then one-argument
+# calls (message delivery), then process resumes (one per spawn).
+_KIND_EVENT = 0    # target: Event      -> target._process()
+_KIND_CALL1 = 1    # target: callable   -> target(payload)
+_KIND_RESUME = 2   # target: Process    -> target._resume(payload, None)
+_KIND_THROW = 3    # target: Process    -> target._resume(None, payload)
+_KIND_CALL = 4     # target: callable   -> target()
+
+# Sentinel yielded by Simulator.hold(): the resume record is already on
+# the calendar, so Process._resume has nothing to subscribe to.
+_HOLD = object()
 
 
 class SimulationError(RuntimeError):
@@ -65,6 +87,8 @@ class Event:
     processes that yield a pending event resume when it triggers.
     """
 
+    __slots__ = ("sim", "triggered", "ok", "value", "_callbacks", "defused")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.triggered = False
@@ -85,7 +109,9 @@ class Event:
         self.triggered = True
         self.ok = True
         self.value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._calendar, (sim.now, seq, _KIND_EVENT, self, None))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -97,7 +123,9 @@ class Event:
         self.triggered = True
         self.ok = False
         self.value = exc
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._calendar, (sim.now, seq, _KIND_EVENT, self, None))
         return self
 
     # -- waiting ------------------------------------------------------------
@@ -106,19 +134,23 @@ class Event:
         """Register ``callback(event)``; runs when the event is processed.
 
         If the event has already been processed the callback is scheduled
-        for the current instant.
+        for the current instant (as a flat calendar record — no closure is
+        allocated for this late-waiter hot path).
         """
         if self._callbacks is None:  # already processed
-            self.sim._schedule_call(lambda: callback(self))
+            sim = self.sim
+            sim._sequence = seq = sim._sequence + 1
+            heappush(sim._calendar, (sim.now, seq, _KIND_CALL1, callback, self))
         else:
             self._callbacks.append(callback)
 
     def _process(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
+        callbacks = self._callbacks
+        self._callbacks = None
         for callback in callbacks:
             callback(self)
         if self.ok is False and not self.defused:
-            self.sim._record_failure(self)
+            self.sim._unhandled.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "triggered" if self.triggered else "pending"
@@ -128,19 +160,29 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError("negative delay: %r" % (delay,))
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
         self.triggered = True
         self.ok = True
         self.value = value
-        sim._schedule_event(self, delay)
+        self._callbacks = []
+        self.defused = False
+        self.delay = delay
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._calendar, (sim.now + delay, seq, _KIND_EVENT, self, None))
 
 
 class Process(Event):
     """A running coroutine; also an event that triggers on completion."""
+
+    # ``trace_parent`` is not set by the kernel itself: spawners that fan
+    # work out across processes (RAID, write-back) attach it so the tracer
+    # can seed span parentage (see repro.obs.tracer).
+    __slots__ = ("name", "_generator", "_waiting_on", "trace_parent")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -149,7 +191,8 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
-        sim._schedule_call(lambda: self._resume(None, None))
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._calendar, (sim.now, seq, _KIND_RESUME, self, None))
 
     @property
     def is_alive(self) -> bool:
@@ -159,7 +202,10 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current instant."""
         if self.triggered:
             return
-        self.sim._schedule_call(lambda: self._resume(None, Interrupt(cause)))
+        sim = self.sim
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._calendar,
+                 (sim.now, seq, _KIND_THROW, self, Interrupt(cause)))
 
     # -- internal stepping ---------------------------------------------------
 
@@ -186,6 +232,10 @@ class Process(Event):
                 return
         finally:
             sim._active_process = previous
+        if target is _HOLD:
+            # hold() already pushed this process's resume record; there is
+            # no event object to subscribe to.
+            return
         if not isinstance(target, Event):
             self.fail(
                 TypeError(
@@ -215,6 +265,8 @@ class AnyOf(Event):
     of the winning event propagate; failures of losers are defused.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -241,6 +293,8 @@ class AllOf(Event):
     The value is the list of child values in construction order.  The first
     child failure fails the combinator.
     """
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -269,9 +323,12 @@ class AllOf(Event):
 class Simulator:
     """The event calendar, virtual clock, and process spawner."""
 
+    __slots__ = ("now", "_calendar", "_sequence", "_unhandled",
+                 "_active_process")
+
     def __init__(self):
         self.now: float = 0.0
-        self._calendar: List[Tuple[float, int, Callable[[], None]]] = []
+        self._calendar: List[Tuple[float, int, int, Any, Any]] = []
         self._sequence = 0
         self._unhandled: List[Event] = []
         self._active_process: Optional["Process"] = None
@@ -285,6 +342,55 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def hold(self, delay: float) -> Any:
+        """Sleep the *currently running* process for ``delay``; no Event.
+
+        The allocation-free fast path for the innermost service delays
+        (disk transfers, CPU charges): it pushes the process's resume
+        record directly onto the calendar and returns a sentinel for the
+        process to yield, skipping the Timeout object, its callback list,
+        and the event-processing hop.  The record occupies the same
+        ``(when, seq)`` slot a ``timeout(delay)`` created here would, so
+        firing order is unchanged.
+
+        Only valid ``yield``\\ ed immediately from code running inside a
+        process; the returned sentinel is not an :class:`Event` and cannot
+        be stored, combined with ``any_of``/``all_of``, or waited on by
+        anyone else.
+        """
+        if delay < 0:
+            raise ValueError("negative delay: %r" % (delay,))
+        proc = self._active_process
+        if proc is None:
+            raise SimulationError("hold() outside a running process")
+        self._sequence = seq = self._sequence + 1
+        heappush(self._calendar,
+                 (self.now + delay, seq, _KIND_RESUME, proc, None))
+        return _HOLD
+
+    def park(self) -> Any:
+        """Suspend the *currently running* process with no Event.
+
+        The counterpart of :meth:`hold` for wakeups another party
+        delivers (queue hand-off): the caller stashes
+        ``sim._active_process`` somewhere, yields the returned sentinel,
+        and the other party later calls :meth:`unpark` with that process.
+        The same caveats as :meth:`hold` apply.
+        """
+        if self._active_process is None:
+            raise SimulationError("park() outside a running process")
+        return _HOLD
+
+    def unpark(self, proc: "Process", value: Any = None) -> None:
+        """Resume a parked process at the current instant with ``value``.
+
+        Occupies the same ``(when, seq)`` slot that triggering a wait
+        event here would, so firing order matches the Event-based
+        hand-off it replaces.
+        """
+        self._sequence = seq = self._sequence + 1
+        heappush(self._calendar, (self.now, seq, _KIND_RESUME, proc, value))
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
@@ -300,35 +406,114 @@ class Simulator:
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the calendar empties or the clock reaches ``until``."""
-        while self._calendar:
-            when, _seq, call = self._calendar[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(self._calendar)
-            if when > self.now:
-                self.now = when
-            call()
+        calendar = self._calendar
+        pop = heappop
+        if until is None:
+            while calendar:
+                record = pop(calendar)
+                when = record[0]
+                if when > self.now:
+                    self.now = when
+                kind = record[2]
+                target = record[3]
+                if kind == 0:
+                    target._process()
+                elif kind == 1:
+                    target(record[4])
+                elif kind == 2:
+                    target._resume(record[4], None)
+                elif kind == 3:
+                    target._resume(None, record[4])
+                else:
+                    target()
         else:
-            if until is not None and until > self.now:
-                self.now = until
+            while calendar:
+                when = calendar[0][0]
+                if when > until:
+                    self.now = until
+                    break
+                record = pop(calendar)
+                if when > self.now:
+                    self.now = when
+                kind = record[2]
+                target = record[3]
+                if kind == 0:
+                    target._process()
+                elif kind == 1:
+                    target(record[4])
+                elif kind == 2:
+                    target._resume(record[4], None)
+                elif kind == 3:
+                    target._resume(None, record[4])
+                else:
+                    target()
+            else:
+                if until > self.now:
+                    self.now = until
         self._raise_unhandled()
 
-    def run_process(self, generator: Generator, name: str = "") -> Any:
+    def run_process(self, generator: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
         """Spawn ``generator``, run to completion, and return its value.
 
         This is the main entry point used by workloads: it drives the whole
         simulation until the given process finishes (background processes
         may continue afterwards via :meth:`run`).
+
+        With ``until`` set the run is additionally bounded by the clock,
+        mirroring :meth:`run`: if the process has not finished when the
+        clock reaches ``until``, the clock is left at ``until``, pending
+        events stay on the calendar, and ``None`` is returned (the
+        deadlock check only applies to unbounded runs).
         """
         proc = self.spawn(generator, name=name)
-        while self._calendar and not proc.triggered:
-            when, _seq, call = heapq.heappop(self._calendar)
-            if when > self.now:
-                self.now = when
-            call()
+        calendar = self._calendar
+        pop = heappop
+        if until is None:
+            while calendar and not proc.triggered:
+                record = pop(calendar)
+                when = record[0]
+                if when > self.now:
+                    self.now = when
+                kind = record[2]
+                target = record[3]
+                if kind == 0:
+                    target._process()
+                elif kind == 1:
+                    target(record[4])
+                elif kind == 2:
+                    target._resume(record[4], None)
+                elif kind == 3:
+                    target._resume(None, record[4])
+                else:
+                    target()
+        else:
+            while calendar and not proc.triggered:
+                when = calendar[0][0]
+                if when > until:
+                    self.now = until
+                    break
+                record = pop(calendar)
+                if when > self.now:
+                    self.now = when
+                kind = record[2]
+                target = record[3]
+                if kind == 0:
+                    target._process()
+                elif kind == 1:
+                    target(record[4])
+                elif kind == 2:
+                    target._resume(record[4], None)
+                elif kind == 3:
+                    target._resume(None, record[4])
+                else:
+                    target()
         self._raise_unhandled()
         if not proc.triggered:
+            if until is not None:
+                if until > self.now:
+                    self.now = until
+                return None
             raise SimulationError(
                 "process %r deadlocked: calendar empty at t=%s" % (proc.name, self.now)
             )
@@ -340,11 +525,19 @@ class Simulator:
     # -- internal -------------------------------------------------------------
 
     def _schedule_call(self, call: Callable[[], None], delay: float = 0.0) -> None:
-        self._sequence += 1
-        heapq.heappush(self._calendar, (self.now + delay, self._sequence, call))
+        """Schedule a zero-argument callable (compatibility entry point)."""
+        self._sequence = seq = self._sequence + 1
+        heappush(self._calendar, (self.now + delay, seq, _KIND_CALL, call, None))
+
+    def _schedule_call1(self, call: Callable[[Any], None], arg: Any,
+                        delay: float = 0.0) -> None:
+        """Schedule ``call(arg)`` without allocating a closure."""
+        self._sequence = seq = self._sequence + 1
+        heappush(self._calendar, (self.now + delay, seq, _KIND_CALL1, call, arg))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        self._schedule_call(event._process, delay)
+        self._sequence = seq = self._sequence + 1
+        heappush(self._calendar, (self.now + delay, seq, _KIND_EVENT, event, None))
 
     def _record_failure(self, event: Event) -> None:
         self._unhandled.append(event)

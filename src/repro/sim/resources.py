@@ -34,6 +34,9 @@ class UtilizationTracker:
     the fraction of available service capacity consumed.
     """
 
+    __slots__ = ("sim", "capacity", "busy_time", "_in_service",
+                 "_last_change", "_window_start")
+
     def __init__(self, sim: Simulator, capacity: int = 1):
         self.sim = sim
         self.capacity = capacity
@@ -56,8 +59,9 @@ class UtilizationTracker:
 
     def _accumulate(self) -> None:
         now = self.sim.now
-        self.busy_time += self._in_service * (now - self._last_change)
-        self._last_change = now
+        if now != self._last_change:
+            self.busy_time += self._in_service * (now - self._last_change)
+            self._last_change = now
 
     def reset_window(self) -> None:
         """Start a fresh measurement window at the current instant."""
@@ -76,6 +80,9 @@ class UtilizationTracker:
 
 class Resource:
     """A counting semaphore with FIFO queueing and utilization tracking."""
+
+    __slots__ = ("sim", "capacity", "name", "available", "_waiters",
+                 "tracker", "stats", "total_acquisitions")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -123,10 +130,25 @@ class Resource:
             self.available += 1
 
     def use(self, duration: float) -> Generator[Event, Any, None]:
-        """Coroutine: acquire, hold for ``duration``, release."""
-        yield from self.acquire()
+        """Coroutine: acquire, hold for ``duration``, release.
+
+        The acquire is inlined (same logic as :meth:`acquire`) so the
+        per-charge hot path costs one generator, not two nested ones.
+        """
+        if self.available > 0 and not self._waiters:
+            self.available -= 1
+            self.stats.note_acquired(0.0)
+        else:
+            arrived = self.sim.now
+            gate = Event(self.sim)
+            self.stats.note_enqueued()
+            self._waiters.append(gate)
+            yield gate
+            self.stats.note_wait_done(self.sim.now - arrived)
+        self.total_acquisitions += 1
+        self.tracker.acquire()
         try:
-            yield self.sim.timeout(duration)
+            yield self.sim.hold(duration)
         finally:
             self.release()
         return None
@@ -135,11 +157,15 @@ class Resource:
 class Store:
     """An unbounded FIFO with blocking ``get`` (message inbox)."""
 
+    __slots__ = ("sim", "name", "_items", "_getters", "total_put")
+
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        # Blocked getters park their Process directly (no gate Event):
+        # put() hands the item straight to the oldest parked process.
+        self._getters: Deque[Any] = deque()
         self.total_put = 0
 
     def __len__(self) -> int:
@@ -149,17 +175,17 @@ class Store:
         """Deposit ``item``; wakes the oldest blocked getter."""
         self.total_put += 1
         if self._getters:
-            self._getters.popleft().trigger(item)
+            self.sim.unpark(self._getters.popleft(), item)
         else:
             self._items.append(item)
 
-    def get(self) -> Generator[Event, Any, Any]:
+    def get(self) -> Generator[Any, Any, Any]:
         """Coroutine: return the oldest item, blocking while empty."""
         if self._items:
             return self._items.popleft()
-        gate = self.sim.event()
-        self._getters.append(gate)
-        item = yield gate
+        sim = self.sim
+        self._getters.append(sim._active_process)
+        item = yield sim.park()
         return item
 
     def get_nowait(self) -> Optional[Any]:

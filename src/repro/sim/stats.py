@@ -18,6 +18,7 @@ exact same event sequence.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["LatencyHistogram", "ResourceStats"]
@@ -42,6 +43,8 @@ class LatencyHistogram:
     fixed-bucket trade-off.
     """
 
+    __slots__ = ("counts", "count", "total", "min", "max")
+
     EDGES: Tuple[float, ...] = tuple(1e-6 * (2.0 ** i) for i in range(28))
 
     def __init__(self):
@@ -53,17 +56,19 @@ class LatencyHistogram:
 
     def record(self, seconds: float) -> None:
         """Add one observation (in simulated seconds)."""
-        index = 0
-        for index, edge in enumerate(self.EDGES):
-            if seconds <= edge:
-                break
-        else:
-            index = len(self.EDGES)
+        # First edge >= seconds, i.e. the bucket whose upper edge bounds
+        # the value; past the last edge this lands in the overflow bucket.
+        index = bisect_left(self.EDGES, seconds)
         self.counts[index] += 1
         self.count += 1
         self.total += seconds
-        self.min = seconds if self.min is None else min(self.min, seconds)
-        self.max = seconds if self.max is None else max(self.max, seconds)
+        if self.min is None:
+            self.min = self.max = seconds
+        else:
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
 
     @property
     def overflow(self) -> int:
@@ -124,6 +129,11 @@ class ResourceStats:
     assert the accounting is conservative.
     """
 
+    __slots__ = ("_resource", "_sim", "window_start", "acquisitions",
+                 "contended", "total_wait", "max_wait", "wait_hist",
+                 "busy_time", "_in_service", "_queue_len",
+                 "_queue_integral", "_last_change")
+
     def __init__(self, resource: Any):
         self._resource = resource
         self._sim = resource.sim
@@ -152,11 +162,17 @@ class ResourceStats:
         Acquirers that queued must call :meth:`note_wait_done` instead so
         the queue-depth integral stays conservative.
         """
-        self._accumulate()
+        # _accumulate(), inlined: this is the per-charge hot path.
+        now = self._sim.now
+        dt = now - self._last_change
+        if dt > 0.0:
+            self.busy_time += self._in_service * dt
+            self._queue_integral += self._queue_len * dt
+            self._last_change = now
         self._in_service += 1
         self.acquisitions += 1
-        self.total_wait += wait
         if wait > 0.0:
+            self.total_wait += wait
             self.contended += 1
             if wait > self.max_wait:
                 self.max_wait = wait
@@ -170,7 +186,13 @@ class ResourceStats:
 
     def note_released(self) -> None:
         """One unit of capacity left service."""
-        self._accumulate()
+        # _accumulate(), inlined: this is the per-charge hot path.
+        now = self._sim.now
+        dt = now - self._last_change
+        if dt > 0.0:
+            self.busy_time += self._in_service * dt
+            self._queue_integral += self._queue_len * dt
+            self._last_change = now
         self._in_service -= 1
 
     def _accumulate(self) -> None:
@@ -179,7 +201,7 @@ class ResourceStats:
         if dt > 0.0:
             self.busy_time += self._in_service * dt
             self._queue_integral += self._queue_len * dt
-        self._last_change = now
+            self._last_change = now
 
     # -- derived figures ------------------------------------------------------
 

@@ -82,7 +82,7 @@ class Disk(BlockDevice):
                 if not (is_write and self.params.write_back_cache):
                     self._head = start + count
                 self.busy_time += service
-                yield self.sim.timeout(service)
+                yield self.sim.hold(service)
             finally:
                 self.queue.release()
         finally:

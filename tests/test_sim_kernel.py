@@ -325,3 +325,114 @@ def test_yielding_non_event_fails(sim):
 def test_spawn_requires_generator(sim):
     with pytest.raises(TypeError):
         sim.spawn(lambda: None)
+
+
+def test_run_process_until_returns_value_when_finished(sim):
+    def proc():
+        yield sim.timeout(2.0)
+        return "done"
+
+    assert sim.run_process(proc(), until=5.0) == "done"
+    assert sim.now == 2.0
+
+
+def test_run_process_until_bounds_unfinished_process(sim):
+    progress = []
+
+    def proc():
+        for step in range(10):
+            yield sim.timeout(1.0)
+            progress.append(step)
+        return "finished"
+
+    # The clock stops at the bound, the process stays pending on the
+    # calendar, and the bounded run reports no value.
+    assert sim.run_process(proc(), until=3.5) is None
+    assert sim.now == 3.5
+    assert progress == [0, 1, 2]
+    sim.run()
+    assert progress == list(range(10))
+
+
+def test_run_process_until_skips_deadlock_check(sim):
+    def stuck():
+        gate = sim.event()
+        yield gate   # never triggered
+
+    # Unbounded runs raise on deadlock; bounded runs just stop the clock.
+    assert sim.run_process(stuck(), until=1.0) is None
+    assert sim.now == 1.0
+
+
+def test_add_callback_after_processing_fires_next_step(sim):
+    seen = []
+    event = sim.event()
+
+    def waiter():
+        yield event
+        seen.append("waiter")
+
+    def late():
+        yield sim.timeout(1.0)
+        event.add_callback(lambda ev: seen.append(("late", ev.value)))
+        yield sim.timeout(0.0)
+
+    event.trigger("v")
+    sim.spawn(waiter())
+    sim.run_process(late())
+    assert seen == ["waiter", ("late", "v")]
+
+
+def test_hold_matches_timeout_semantics(sim):
+    log = []
+
+    def holder():
+        yield sim.hold(2.0)
+        log.append(("hold", sim.now))
+
+    def timeouter():
+        yield sim.timeout(2.0)
+        log.append(("timeout", sim.now))
+
+    sim.spawn(holder())
+    sim.spawn(timeouter())
+    sim.run()
+    # Same instant; spawn order decides the tie, exactly as with two
+    # timeouts.
+    assert log == [("hold", 2.0), ("timeout", 2.0)]
+
+
+def test_hold_outside_process_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.hold(1.0)
+
+
+def test_hold_negative_delay_rejected(sim):
+    def proc():
+        yield sim.hold(-0.5)
+
+    with pytest.raises(ValueError):
+        sim.run_process(proc())
+
+
+def test_store_parked_getter_receives_item(sim):
+    from repro.sim import Store
+
+    store = Store(sim, name="inbox")
+    received = []
+
+    def getter(tag):
+        item = yield from store.get()
+        received.append((tag, item, sim.now))
+
+    def putter():
+        yield sim.timeout(1.0)
+        store.put("a")
+        store.put("b")
+
+    sim.spawn(getter("g1"))
+    sim.spawn(getter("g2"))
+    sim.spawn(putter())
+    sim.run()
+    # FIFO hand-off: oldest parked getter gets the oldest item.
+    assert received == [("g1", "a", 1.0), ("g2", "b", 1.0)]
