@@ -36,10 +36,6 @@ def test_fig6_latency(benchmark):
     for kind in ("nfsv3", "iscsi"):
         assert results["read", kind, 0.090].completion_time > \
             results["read", kind, 0.010].completion_time * 3
-    nfs_slope = (results["read", "nfsv3", 0.090].completion_time
-                 / results["read", "nfsv3", 0.010].completion_time)
-    iscsi_slope = (results["read", "iscsi", 0.090].completion_time
-                   / results["read", "iscsi", 0.010].completion_time)
     assert results["read", "nfsv3", 0.090].completion_time > \
         results["read", "iscsi", 0.090].completion_time * 1.3
 

@@ -18,7 +18,7 @@ This is the Linux buffer/page cache as the paper's analysis needs it:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, List, Optional, Tuple
+from typing import Dict, Generator, Iterable, List, Optional
 
 from ..core.params import CacheParams
 from ..obs.tracer import NULL_TRACER, NullTracer

@@ -9,7 +9,7 @@ class is the bookkeeping container.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from .policies import CacheStats, LruDict
 

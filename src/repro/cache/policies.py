@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Generic, Iterator, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
 
 __all__ = ["LruDict", "CacheStats"]
 

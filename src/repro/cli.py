@@ -12,6 +12,7 @@ Usage::
     python -m repro fig7
     python -m repro sec7
     python -m repro quick
+    python -m repro faults <workload> [--stack KIND ...] [--plan P ...]
     python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
     python -m repro bench [--suite quick] [--out FILE] [--jobs N]
     python -m repro bench --compare OLD.json NEW.json [--tolerance 0.15]
@@ -90,7 +91,8 @@ def cmd_list(_args) -> int:
     print("            table9 table10 fig3 fig4 fig5 fig6 fig7 sec7 quick")
     print("tools:      trace (record/export a run)  "
           "bench (regression suites)")
-    print("            all (every artifact, parallel + cached)")
+    print("            faults (degraded-mode scenarios)  "
+          "all (every artifact, parallel + cached)")
     print("commands:   %s" % " ".join(iter_subcommands()))
     return 0
 
@@ -559,6 +561,80 @@ def cmd_trace(args) -> int:
     return 0
 
 
+# -- faults: degraded-mode scenario tables --------------------------------------------
+
+
+def _plan_param(plan: str) -> Any:
+    """Resolve a CLI plan reference into a JSON-pure cell parameter.
+
+    Preset names (and "none") pass through as strings — readable cell
+    ids, stable cache keys.  A file path is loaded here so the cell
+    itself stays a pure function of its JSON params.
+    """
+    from .faults import PRESETS, resolve_plan
+
+    if plan == "none" or plan in PRESETS:
+        return plan
+    return resolve_plan(plan).to_spec()
+
+
+def _fault_digest(record: Dict[str, Any]) -> str:
+    """Compact message-fault summary for one scenario row."""
+    faults = record.get("faults")
+    if not faults:
+        return "-"
+    parts = ["%s=%d" % (name.split(".", 1)[1], count)
+             for name, count in sorted(faults.get("counts", {}).items())
+             if name.startswith("msg.")]
+    return " ".join(parts) if parts else "-"
+
+
+def _recovery_digest(record: Dict[str, Any]) -> str:
+    """Compact recovery-machinery summary for one scenario row."""
+    recovery = record.get("recovery", {})
+    labels = (("server_restarts", "restart"), ("relogins", "relogin"),
+              ("requeued_commands", "requeue"), ("degraded_reads", "deg-rd"),
+              ("degraded_writes", "deg-wr"), ("rebuild_writes", "rebuild"))
+    parts = ["%s=%d" % (label, recovery[key])
+             for key, label in labels if recovery.get(key)]
+    return " ".join(parts) if parts else "-"
+
+
+def cmd_faults(args) -> int:
+    stacks = tuple(args.stack)
+    plans = ["none"] + [plan for plan in args.plan if plan != "none"]
+    labeled = [
+        (kind, plan,
+         _cell("faults_scenario", kind=kind, workload=args.workload,
+               plan=_plan_param(plan), seed=args.seed))
+        for kind in stacks
+        for plan in plans
+    ]
+    results = _runner(args).run([cell for _kind, _plan, cell in labeled])
+    rows = []
+    baseline: Dict[str, float] = {}
+    for kind, plan, cell in labeled:
+        record = results[cell.id]
+        # Total simulated time (workload + quiesce): fault windows often
+        # overlap the flush traffic, not just the foreground phase.
+        elapsed = record["total_time_s"]
+        if plan == "none":
+            baseline[kind] = elapsed
+        base = baseline.get(kind, 0.0)
+        rows.append([
+            kind, plan, "%.3fs" % elapsed,
+            "%.2fx" % (elapsed / base) if base else "-",
+            record["messages"], record["retransmissions"],
+            _fault_digest(record), _recovery_digest(record),
+        ])
+    print("%s under fault plans (seed %d)" % (args.workload, args.seed))
+    _print_table(
+        ["stack", "plan", "time", "vs none", "messages", "retrans",
+         "faults", "recovery"],
+        rows)
+    return 0
+
+
 # -- bench: the regression harness ----------------------------------------------------
 
 
@@ -665,6 +741,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("fig7", parents=[jobs_parent]).set_defaults(func=cmd_fig7)
     sub.add_parser("sec7", parents=[jobs_parent]).set_defaults(func=cmd_sec7)
+
+    fl = sub.add_parser(
+        "faults", parents=[jobs_parent],
+        help="run a workload under fault plans and tabulate the "
+             "degraded-mode cost (completion time, messages, recovery)",
+    )
+    fl.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    fl.add_argument("--stack", nargs="+", choices=STACK_KINDS,
+                    default=["nfsv3", "iscsi"], metavar="KIND",
+                    help="stack kinds to compare (default: nfsv3 iscsi)")
+    fl.add_argument("--plan", nargs="+", default=["loss2"], metavar="PLAN",
+                    help="fault plans: a preset name (see repro.faults."
+                         "PRESETS, e.g. loss2 loss10 dup5 reorder10 flap "
+                         "degrade slow-disk disk-fail crash) or a JSON "
+                         "plan file; an unfaulted baseline always runs")
+    fl.add_argument("--seed", type=int, default=0,
+                    help="RNG seed for probabilistic faults (default 0)")
+    fl.set_defaults(func=cmd_faults)
 
     tr = sub.add_parser(
         "trace",

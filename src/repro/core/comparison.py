@@ -47,7 +47,8 @@ class StorageStack:
     """A fully wired client/server testbed for one protocol stack."""
 
     def __init__(self, kind: str, params: Optional[TestbedParams] = None,
-                 trace: bool = False, tracer: Optional[NullTracer] = None):
+                 trace: bool = False, tracer: Optional[NullTracer] = None,
+                 fault_plan=None):
         if kind not in STACK_KINDS:
             raise ValueError("unknown stack kind %r; one of %s" % (kind, STACK_KINDS))
         self.kind = kind
@@ -95,6 +96,21 @@ class StorageStack:
         if self.tracer.enabled:
             self.client = TracedClient(self.client, self.tracer)
             self._register_probes()
+        # Fault injection (repro.faults): built only for a non-empty plan,
+        # so unfaulted stacks keep the exact pre-existing event sequence.
+        self.fault_injector = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            from ..faults.injector import FaultInjector
+            self.fault_injector = FaultInjector(
+                self.sim,
+                fault_plan,
+                transport=self.transport,
+                link=self.link,
+                raid=self.raid,
+                nfs_server=self.server,
+                initiator=self.initiator,
+                tracer=self.tracer,
+            )
         self.mounted = False
 
     # -- construction ----------------------------------------------------------------
@@ -359,13 +375,19 @@ class StorageStack:
 
 
 def make_stack(kind: str, params: Optional[TestbedParams] = None,
-               mounted: bool = True, trace: bool = False) -> StorageStack:
+               mounted: bool = True, trace: bool = False,
+               fault_plan=None) -> StorageStack:
     """Build (and by default mount) a stack of the given kind.
 
     Pass ``trace=True`` to attach a recording :class:`repro.obs.Tracer`
     (exposed as ``stack.tracer``); the default is the no-op tracer.
+    Pass a non-empty :class:`repro.faults.FaultPlan` as ``fault_plan`` to
+    arm fault injection; its event clock starts *after* the mount, so plan
+    times are relative to the beginning of the workload.
     """
-    stack = StorageStack(kind, params, trace=trace)
+    stack = StorageStack(kind, params, trace=trace, fault_plan=fault_plan)
     if mounted:
         stack.mount()
+    if stack.fault_injector is not None:
+        stack.fault_injector.start()
     return stack

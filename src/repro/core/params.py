@@ -20,7 +20,6 @@ far below full-stroke seek times.  See EXPERIMENTS.md ("Calibration").
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 __all__ = [
     "NetworkParams",

@@ -421,3 +421,51 @@ def _cell_bench_case(workload: str, stack: str) -> Dict[str, Any]:
     from ..obs.bench import run_case
 
     return run_case(workload, stack)
+
+
+@cell_kind("faults_scenario")
+def _cell_faults_scenario(kind: str, workload: str, plan: Any,
+                          seed: int = 0) -> Dict[str, Any]:
+    """One (stack, workload, fault plan) degraded-mode scenario.
+
+    ``plan`` is a preset name or an inline JSON spec (cells must be pure
+    functions of JSON params, so file paths are resolved by the CLI
+    before the cell is built).  The fault clock starts with the workload;
+    the quiesce runs after, so recovery traffic is part of the counts.
+    """
+    from ..faults import resolve_plan
+    from ..obs.bench import WORKLOADS
+    from .comparison import make_stack
+
+    fault_plan = resolve_plan(plan, seed=seed)
+    stack = make_stack(kind, fault_plan=fault_plan)
+    snap = stack.snapshot()
+    start = stack.now
+    stack.run(WORKLOADS[workload](stack.client), name=workload)
+    elapsed = stack.now - start
+    stack.quiesce()
+    delta = stack.delta(snap)
+
+    result: Dict[str, Any] = {
+        "stack": kind,
+        "workload": workload,
+        "completion_time_s": round(elapsed, 9),
+        "total_time_s": round(stack.now, 9),
+        "messages": delta.messages,
+        "bytes": delta.total_bytes,
+        "retransmissions": delta.retransmissions,
+        "faults": (stack.fault_injector.summary()
+                   if stack.fault_injector is not None else None),
+    }
+    recovery: Dict[str, Any] = {}
+    if stack.server is not None:
+        recovery["server_restarts"] = stack.server.restarts
+    if stack.initiator is not None:
+        recovery["session_drops"] = stack.initiator.session_drops
+        recovery["relogins"] = stack.initiator.logins
+        recovery["requeued_commands"] = stack.initiator.requeued_commands
+    recovery["degraded_reads"] = stack.raid.degraded_reads
+    recovery["degraded_writes"] = stack.raid.degraded_writes
+    recovery["rebuild_writes"] = stack.raid.rebuild_writes
+    result["recovery"] = recovery
+    return result

@@ -1,0 +1,52 @@
+"""repro.faults: structured fault injection for both storage stacks.
+
+The paper's NFS-vs-iSCSI comparison leans on recovery machinery — UDP RPC
+timers and duplicate-request caches, TCP/iSCSI session recovery, RAID-5
+degraded-mode reads — but the performance tables never exercise it.  This
+package makes fault behavior a first-class experiment axis:
+
+* :mod:`repro.faults.plan` — a :class:`FaultPlan` is a declarative,
+  JSON-serializable schedule of typed fault events (packet-loss bursts,
+  duplication and reordering windows, link flaps, bandwidth/latency
+  degradation, slow-disk and disk-failure events, server crash + reboot),
+  all driven by the simulator clock with a seeded RNG so every scenario
+  run is deterministic and byte-reproducible;
+* :mod:`repro.faults.injector` — a :class:`FaultInjector` wires a plan
+  into a live :class:`~repro.core.comparison.StorageStack`: it filters
+  messages on the transport, degrades the link, slows or fails RAID
+  spindles, crashes and reboots the NFS server, and drops iSCSI sessions,
+  emitting ``repro.obs`` spans so faults are visible in traces.
+
+With no plan (or an empty one) nothing is attached and a stack behaves
+bit-for-bit as before — fault injection is strictly opt-in.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    PRESETS,
+    DiskFailure,
+    DuplicateWindow,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    LossBurst,
+    ReorderWindow,
+    ServerCrash,
+    SlowDisk,
+    resolve_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "LossBurst",
+    "DuplicateWindow",
+    "ReorderWindow",
+    "LinkFlap",
+    "LinkDegrade",
+    "SlowDisk",
+    "DiskFailure",
+    "ServerCrash",
+    "PRESETS",
+    "resolve_plan",
+]

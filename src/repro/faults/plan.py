@@ -1,0 +1,398 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a list of typed fault events plus a seed for the
+single RNG every probabilistic decision draws from.  Event times are
+*relative to injector start* (i.e. to the beginning of the workload, not
+to stack construction), so the same plan means the same thing on every
+stack kind.
+
+Plans round-trip through plain JSON (:meth:`FaultPlan.to_spec` /
+:meth:`FaultPlan.from_spec`), which is what lets the experiment runner
+cache and fan out fault cells like any other cell, and what the
+``repro faults --plan FILE.json`` CLI loads.  A handful of named presets
+(:data:`PRESETS`) cover the canonical degraded-mode scenarios.
+
+Every probability is validated to ``[0, 1]`` and every duration to be
+non-negative at construction time — the same contract
+:class:`~repro.net.transport.DuplexTransport` now enforces on its
+``loss_rate``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple, Type, Union
+
+__all__ = [
+    "LossBurst",
+    "DuplicateWindow",
+    "ReorderWindow",
+    "LinkFlap",
+    "LinkDegrade",
+    "SlowDisk",
+    "DiskFailure",
+    "ServerCrash",
+    "FaultPlan",
+    "EVENT_TYPES",
+    "PRESETS",
+    "resolve_plan",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("%s must be within [0, 1], got %r" % (name, value))
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError("%s must be non-negative, got %r" % (name, value))
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError("%s must be positive, got %r" % (name, value))
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """A window during which each message is independently lost.
+
+    On an unreliable (UDP-like) transport a lost message simply never
+    arrives and recovery is the RPC retransmission timer.  On a reliable
+    (TCP-like) transport the segment loss is repaired *below* the
+    request/reply layer: the message is delayed by ``reliable_delay``
+    (a TCP-RTO-class stall) instead of dropped — the paper's structural
+    contrast between the two stacks' recovery machinery.
+    """
+
+    start: float
+    duration: float
+    loss_rate: float
+    reliable_delay: float = 0.2
+
+    kind = "loss"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+        _check_probability("loss_rate", self.loss_rate)
+        _check_non_negative("reliable_delay", self.reliable_delay)
+
+
+@dataclass(frozen=True)
+class DuplicateWindow:
+    """A window during which messages may be delivered twice.
+
+    Duplicates only occur on unreliable transports (TCP sequence numbers
+    suppress them); the second copy arrives ``extra_delay`` later, which
+    is what exercises the server's duplicate-request cache.
+    """
+
+    start: float
+    duration: float
+    probability: float
+    extra_delay: float = 0.0005
+
+    kind = "duplicate"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+        _check_probability("probability", self.probability)
+        _check_non_negative("extra_delay", self.extra_delay)
+
+
+@dataclass(frozen=True)
+class ReorderWindow:
+    """A window during which messages may be held back and overtaken.
+
+    An affected message gets a uniform extra delay in
+    ``(0, max_extra_delay]``, letting later traffic pass it — out-of-order
+    delivery on UDP, head-of-line-blocking-style stalls on TCP.
+    """
+
+    start: float
+    duration: float
+    probability: float
+    max_extra_delay: float = 0.002
+
+    kind = "reorder"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+        _check_probability("probability", self.probability)
+        _check_positive("max_extra_delay", self.max_extra_delay)
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """The link goes fully dark for ``duration``; every message is lost.
+
+    When the stack is iSCSI the initiator additionally treats the flap
+    as a session failure: at link recovery it re-logs-in and re-queues
+    the commands that were in flight.
+    """
+
+    start: float
+    duration: float
+
+    kind = "flap"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """A window of reduced bandwidth and/or added propagation latency."""
+
+    start: float
+    duration: float
+    bandwidth_factor: float = 0.1
+    extra_latency: float = 0.0
+
+    kind = "degrade"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+        _check_positive("bandwidth_factor", self.bandwidth_factor)
+        _check_non_negative("extra_latency", self.extra_latency)
+
+
+@dataclass(frozen=True)
+class SlowDisk:
+    """One spindle serves every request ``slowdown`` times slower."""
+
+    start: float
+    duration: float
+    disk: int = 0
+    slowdown: float = 4.0
+
+    kind = "slow_disk"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+        _check_non_negative("disk", self.disk)
+        _check_positive("slowdown", self.slowdown)
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """A spindle fails; the array runs degraded (reconstruct reads).
+
+    With ``rebuild_after`` set, a replacement spindle is rebuilt that
+    many seconds later: the rebuild reads every surviving disk and
+    writes the replacement over ``rebuild_blocks`` physical blocks, and
+    only then does the array leave degraded mode.
+    """
+
+    start: float
+    disk: int = 0
+    rebuild_after: Optional[float] = None
+    rebuild_blocks: int = 2048
+
+    kind = "disk_fail"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("disk", self.disk)
+        if self.rebuild_after is not None:
+            _check_non_negative("rebuild_after", self.rebuild_after)
+        _check_positive("rebuild_blocks", self.rebuild_blocks)
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    """The server goes down for ``duration``; all traffic is lost.
+
+    On reboot the NFS server restarts: v2/v3 are stateless (only the
+    duplicate-request cache evaporates; client RPC timers recover), v4
+    additionally loses delegations and cache registrations (state
+    recovery).  An iSCSI initiator re-logs-in when the target returns.
+    """
+
+    start: float
+    duration: float
+
+    kind = "crash"
+
+    def __post_init__(self) -> None:
+        _check_non_negative("start", self.start)
+        _check_non_negative("duration", self.duration)
+
+
+FaultEvent = Union[
+    LossBurst,
+    DuplicateWindow,
+    ReorderWindow,
+    LinkFlap,
+    LinkDegrade,
+    SlowDisk,
+    DiskFailure,
+    ServerCrash,
+]
+
+EVENT_TYPES: Dict[str, Type[Any]] = {
+    cls.kind: cls
+    for cls in (
+        LossBurst,
+        DuplicateWindow,
+        ReorderWindow,
+        LinkFlap,
+        LinkDegrade,
+        SlowDisk,
+        DiskFailure,
+        ServerCrash,
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events plus the RNG seed."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        known = tuple(EVENT_TYPES.values())
+        for event in self.events:
+            if not isinstance(event, known):
+                raise TypeError("not a fault event: %r" % (event,))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_spec(self) -> Dict[str, Any]:
+        """A plain-JSON description of this plan (``from_spec`` inverse)."""
+        return {
+            "seed": self.seed,
+            "events": [dict(asdict(event), type=event.kind) for event in self.events],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FaultPlan":
+        """Build (and validate) a plan from a plain-JSON description."""
+        if not isinstance(spec, dict):
+            raise ValueError("fault plan spec must be a dict, got %r" % (spec,))
+        events = []
+        for entry in spec.get("events", ()):
+            entry = dict(entry)
+            type_name = entry.pop("type", None)
+            event_cls = EVENT_TYPES.get(type_name)
+            if event_cls is None:
+                raise ValueError(
+                    "unknown fault event type %r; one of %s"
+                    % (type_name, sorted(EVENT_TYPES))
+                )
+            events.append(event_cls(**entry))
+        return cls(events=tuple(events), seed=int(spec.get("seed", 0)))
+
+
+# -- named presets -------------------------------------------------------------
+# The canonical degraded-mode scenarios, expressed as plain specs so they
+# are also documentation for the on-disk plan format.  Windows start
+# early and run long so they cover any of the bench workloads.
+
+PRESETS: Dict[str, Dict[str, Any]] = {
+    "loss2": {
+        "events": [
+            {"type": "loss", "start": 0.0, "duration": 600.0, "loss_rate": 0.02},
+        ],
+    },
+    "loss10": {
+        "events": [
+            {"type": "loss", "start": 0.0, "duration": 600.0, "loss_rate": 0.10},
+        ],
+    },
+    "dup5": {
+        "events": [
+            {"type": "duplicate", "start": 0.0, "duration": 600.0, "probability": 0.05},
+        ],
+    },
+    "reorder10": {
+        "events": [
+            {"type": "reorder", "start": 0.0, "duration": 600.0, "probability": 0.10},
+        ],
+    },
+    "flap": {"events": [{"type": "flap", "start": 0.01, "duration": 0.4}]},
+    "degrade": {
+        "events": [
+            {
+                "type": "degrade",
+                "start": 0.0,
+                "duration": 600.0,
+                "bandwidth_factor": 0.05,
+                "extra_latency": 0.002,
+            },
+        ],
+    },
+    "slow-disk": {
+        "events": [
+            {
+                "type": "slow_disk",
+                "start": 0.0,
+                "duration": 600.0,
+                "disk": 0,
+                "slowdown": 8.0,
+            },
+        ],
+    },
+    "disk-fail": {
+        "events": [
+            {
+                "type": "disk_fail",
+                "start": 0.01,
+                "disk": 2,
+                "rebuild_after": 0.05,
+                "rebuild_blocks": 2048,
+            },
+        ],
+    },
+    "crash": {"events": [{"type": "crash", "start": 0.01, "duration": 1.0}]},
+}
+
+
+def resolve_plan(
+    value: Union[None, str, Dict[str, Any], FaultPlan],
+    seed: Optional[int] = None,
+) -> FaultPlan:
+    """Resolve a CLI/cell plan reference into a validated :class:`FaultPlan`.
+
+    Accepts ``None`` or ``"none"`` (the empty plan), a preset name from
+    :data:`PRESETS`, a path to a JSON spec file, an inline spec dict, or
+    an existing plan.  ``seed``, when given, overrides the plan's seed.
+    """
+    if isinstance(value, FaultPlan):
+        plan = value
+    elif value is None or value == "none":
+        plan = FaultPlan()
+    elif isinstance(value, dict):
+        plan = FaultPlan.from_spec(value)
+    elif isinstance(value, str):
+        if value in PRESETS:
+            plan = FaultPlan.from_spec(PRESETS[value])
+        elif os.path.exists(value):
+            with open(value) as handle:
+                plan = FaultPlan.from_spec(json.load(handle))
+        else:
+            raise ValueError(
+                "unknown fault plan %r: not a preset (%s) and not a file"
+                % (value, ", ".join(sorted(PRESETS)))
+            )
+    else:
+        raise TypeError("cannot resolve a fault plan from %r" % (value,))
+    if seed is not None and seed != plan.seed:
+        plan = FaultPlan(events=plan.events, seed=seed)
+    return plan

@@ -43,7 +43,6 @@ from .errors import (
     InvalidArgument,
     IsADirectory,
     NotADirectory,
-    PermissionDenied,
 )
 from .inode import DIRECT_BLOCKS, FileAttributes, FileType, Inode, POINTERS_PER_MAP_BLOCK
 from .journal import Journal

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
-from .errors import FileNotFound, InvalidArgument, NotADirectory, PermissionDenied
+from .errors import FileNotFound, InvalidArgument, NotADirectory
 from .ext3 import Ext3Fs, ROOT_INO
-from .inode import FileAttributes, Inode
+from .inode import Inode
 
 __all__ = ["Vfs"]
 

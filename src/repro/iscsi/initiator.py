@@ -46,6 +46,18 @@ class IscsiInitiator(BlockDevice):
         self.cpu = cpu
         self.cpu_params = cpu_params if cpu_params is not None else CpuParams()
         self.commands_issued = 0
+        # Session-recovery machinery (repro.faults).  Dormant by default:
+        # fault_mode=False keeps the original direct-call path (and event
+        # sequence) for every unfaulted run.
+        self.fault_mode = False
+        self.relogin_delay = 0.02   # s; TCP reconnect + login round trip setup
+        self.login_timeout = 0.5    # s; retry cadence while the wire is dark
+        self._session_up = True
+        self._drop_event = None     # fires when the current session dies
+        self._up_event = None       # fires when the next login completes
+        self.session_drops = 0
+        self.logins = 0
+        self.requeued_commands = 0
 
     # -- BlockDevice interface ------------------------------------------------
 
@@ -87,6 +99,80 @@ class IscsiInitiator(BlockDevice):
         yield from self._command(scsi.SYNCHRONIZE_CACHE, lba=0, count=0, payload=0)
         return None
 
+    # -- session recovery (repro.faults) --------------------------------------
+
+    def enable_fault_mode(self) -> None:
+        """Arm session-recovery: commands race the session-drop event."""
+        if self.fault_mode:
+            return
+        self.fault_mode = True
+        self._drop_event = self.sim.event()
+
+    def session_drop(self) -> None:
+        """The session died (link flap, target crash): re-login, re-queue.
+
+        In-flight commands lose their race against the drop event and
+        re-issue once the re-login completes; commands arriving while the
+        session is down queue on the login-completion event.
+        """
+        if not self.fault_mode or not self._session_up:
+            return
+        self.session_drops += 1
+        self._session_up = False
+        self._up_event = self.sim.event()
+        dropped = self._drop_event
+        self._drop_event = self.sim.event()
+        dropped.trigger(None)
+        if self.tracer.enabled:
+            self.tracer.instant("iscsi.session-drop", cat="fault",
+                                track="client", dev=self.name)
+        self.sim.spawn(self._relogin(), name=self.name + ".relogin")
+
+    def _relogin(self) -> Generator:
+        yield self.sim.timeout(self.relogin_delay)
+        while True:
+            attempt = self.sim.spawn(
+                self.rpc.call(
+                    scsi.LOGIN,
+                    header_bytes=self.params.command_header_bytes,
+                ),
+                name=self.name + ".login",
+            )
+            winner, _value = yield self.sim.any_of(
+                [attempt, self.sim.timeout(self.login_timeout)])
+            if winner is attempt:
+                break
+            # No answer (wire still dark): try a fresh login exchange.
+        self.logins += 1
+        self._session_up = True
+        self._up_event.trigger(None)
+        if self.tracer.enabled:
+            self.tracer.instant("iscsi.relogin", cat="fault",
+                                track="client", dev=self.name)
+        return None
+
+    def _exchange(self, op: str, payload: int, **body) -> Generator:
+        """One command exchange, re-queued across session drops."""
+        header = self.params.command_header_bytes
+        if not self.fault_mode:
+            reply = yield from self.rpc.call(
+                op, payload_bytes=payload, header_bytes=header, **body)
+            return reply
+        while True:
+            if not self._session_up:
+                yield self._up_event
+            attempt = self.sim.spawn(
+                self.rpc.call(op, payload_bytes=payload, header_bytes=header,
+                              **body),
+                name=self.name + "." + op,
+            )
+            winner, value = yield self.sim.any_of([attempt, self._drop_event])
+            if winner is attempt:
+                return value
+            # Session died with the command in flight: wait for the
+            # re-login, then issue it again (iSCSI command re-queue).
+            self.requeued_commands += 1
+
     # -- internals ---------------------------------------------------------------
 
     def _command(self, op: str, lba: int, count: int, payload: int) -> Generator:
@@ -100,13 +186,7 @@ class IscsiInitiator(BlockDevice):
             yield from self._charge(
                 self.cpu_params.scsi_layer + self.cpu_params.driver_layer
             )
-            yield from self.rpc.call(
-                op,
-                payload_bytes=payload,
-                header_bytes=self.params.command_header_bytes,
-                lba=lba,
-                count=count,
-            )
+            yield from self._exchange(op, payload, lba=lba, count=count)
         finally:
             if span is not None:
                 self.tracer.end_span(span)

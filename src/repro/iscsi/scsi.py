@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 __all__ = ["READ_10", "WRITE_10", "SYNCHRONIZE_CACHE", "REPORT_CAPACITY",
-           "COMMAND_HEADER_BYTES"]
+           "LOGIN", "COMMAND_HEADER_BYTES"]
 
 READ_10 = "SCSI_READ"
 WRITE_10 = "SCSI_WRITE"
 SYNCHRONIZE_CACHE = "SCSI_SYNC"
 REPORT_CAPACITY = "SCSI_CAPACITY"
+LOGIN = "ISCSI_LOGIN"  # session (re-)establishment exchange
 
 COMMAND_HEADER_BYTES = 48  # iSCSI basic header segment

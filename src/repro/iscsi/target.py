@@ -9,7 +9,7 @@ filesystem, and the block layer).
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Tuple
+from typing import Generator, Optional
 
 from ..core.params import CpuParams
 from ..net.message import Message
@@ -43,6 +43,7 @@ class IscsiTarget:
         self.cpu_params = cpu_params if cpu_params is not None else CpuParams()
         self.name = name
         self.commands_served = 0
+        self.logins_served = 0
         rpc.set_handler(self.handle)
 
     def handle(self, message: Message) -> Generator:
@@ -75,6 +76,12 @@ class IscsiTarget:
             return 8, {"status": "good"}
         if op == scsi.REPORT_CAPACITY:
             return 16, {"status": "good", "nblocks": self.volume.nblocks}
+        if op == scsi.LOGIN:
+            # A fresh session: command-sequence state from the old one
+            # (the duplicate-reply cache) is discarded.
+            self.logins_served += 1
+            self.rpc.session_reset()
+            return 48, {"status": "good"}
         return 0, {"status": "check_condition", "op": op}
 
     def _charge(self, cost: float) -> Generator:

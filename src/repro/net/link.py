@@ -49,7 +49,7 @@ class _Channel:
 class Link:
     """A full-duplex client<->server link."""
 
-    __slots__ = ("sim", "rtt", "forward", "backward")
+    __slots__ = ("sim", "rtt", "forward", "backward", "_nominal")
 
     def __init__(
         self,
@@ -65,6 +65,7 @@ class Link:
         latency = one_way_latency if one_way_latency is not None else rtt / 2.0
         self.forward = _Channel(sim, latency, bandwidth)   # client -> server
         self.backward = _Channel(sim, latency, bandwidth)  # server -> client
+        self._nominal = None  # healthy (bandwidth, fwd/bwd latency) under degrade
 
     @property
     def bandwidth(self) -> float:
@@ -77,6 +78,42 @@ class Link:
         self.rtt = rtt
         self.forward.latency = rtt / 2.0
         self.backward.latency = rtt / 2.0
+
+    # -- fault injection -------------------------------------------------------
+
+    def degrade(self, bandwidth_factor: float = 1.0,
+                extra_latency: float = 0.0) -> None:
+        """Enter a degraded window: scaled bandwidth, added latency.
+
+        Used by :class:`~repro.faults.injector.FaultInjector` for
+        :class:`~repro.faults.plan.LinkDegrade` events.  The healthy
+        configuration is saved on first call and reinstated by
+        :meth:`restore`; nested degrades compound against the *healthy*
+        values, not against each other.
+        """
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        if extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
+        if self._nominal is None:
+            self._nominal = (self.forward.bandwidth, self.forward.latency,
+                             self.backward.latency)
+        bandwidth, fwd_latency, bwd_latency = self._nominal
+        self.forward.bandwidth = bandwidth * bandwidth_factor
+        self.backward.bandwidth = bandwidth * bandwidth_factor
+        self.forward.latency = fwd_latency + extra_latency
+        self.backward.latency = bwd_latency + extra_latency
+
+    def restore(self) -> None:
+        """Leave the degraded window; no-op on a healthy link."""
+        if self._nominal is None:
+            return
+        bandwidth, fwd_latency, bwd_latency = self._nominal
+        self.forward.bandwidth = bandwidth
+        self.backward.bandwidth = bandwidth
+        self.forward.latency = fwd_latency
+        self.backward.latency = bwd_latency
+        self._nominal = None
 
     @property
     def total_bytes(self) -> int:

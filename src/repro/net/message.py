@@ -27,7 +27,7 @@ class Message:
     """One protocol message on the wire."""
 
     __slots__ = ("op", "kind", "xid", "header_bytes", "payload_bytes",
-                 "body", "is_retransmission", "span_id")
+                 "body", "is_retransmission", "span_id", "cancelled")
 
     def __init__(
         self,
@@ -51,6 +51,10 @@ class Message:
         self.body = {} if body is None else body
         self.is_retransmission = is_retransmission
         self.span_id = span_id
+        # Set when the connection carrying an in-flight message is torn
+        # down (RPC reset): the receiver discards it on arrival, exactly
+        # as a TCP teardown loses undelivered bytes.
+        self.cancelled = False
 
     @property
     def size(self) -> int:

@@ -19,7 +19,7 @@ enhancements implement cache-invalidation callbacks and delegation recalls.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Optional
 
 from ..obs.tracer import NULL_TRACER, NullTracer
 from ..sim import Event, Resource, Simulator
@@ -40,7 +40,13 @@ class RpcTimeoutError(RpcError):
 
 
 class RetransmitPolicy:
-    """Timeout/backoff schedule for a calling peer."""
+    """Timeout/backoff schedule for a calling peer.
+
+    The wait before attempt *n+1* is ``timeout * backoff**n`` (classic
+    exponential backoff; ``backoff=1`` gives a fixed timer), optionally
+    clamped to ``max_timeout`` — the Linux RPC major-timeout cap, which
+    matters under the long fault windows of :mod:`repro.faults`.
+    """
 
     def __init__(
         self,
@@ -48,12 +54,20 @@ class RetransmitPolicy:
         backoff: float = 2.0,
         max_retries: int = 5,
         reset_connection: bool = False,
+        max_timeout: Optional[float] = None,
     ):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if max_timeout is not None and max_timeout < timeout:
+            raise ValueError("max_timeout must be >= timeout")
         self.timeout = timeout
         self.backoff = backoff
         self.max_retries = max_retries
+        self.max_timeout = max_timeout
         # TCP-mount semantics: a timeout tears the connection down, so the
         # in-flight reply is lost and the retransmission starts a fresh
         # exchange (the Linux behavior behind Fig. 6a's divergence).
@@ -62,9 +76,12 @@ class RetransmitPolicy:
     def schedule(self):
         """Yield successive wait intervals, one per transmission attempt."""
         wait = self.timeout
+        cap = self.max_timeout
         for _attempt in range(self.max_retries + 1):
             yield wait
             wait *= self.backoff
+            if cap is not None and wait > cap:
+                wait = cap
 
 
 class RpcPeer:
@@ -159,11 +176,21 @@ class RpcPeer:
                 timer = self.sim.timeout(wait)
                 winner, value = yield self.sim.any_of([reply_event, timer])
                 if winner is reply_event:
+                    if current is not request:
+                        # The exchange was retransmitted: a non-idempotent
+                        # op may have already executed once before its
+                        # reply was lost, so callers must apply replay
+                        # (retry) semantics to error statuses.
+                        value.is_retransmission = True
                     return value
                 # Timer fired first: retransmit.
                 if self.retransmit.reset_connection:
                     # The connection reset loses the in-flight reply:
                     # abandon the old xid and start a fresh exchange.
+                    # Undelivered bytes of the old connection vanish with
+                    # it, so an in-flight copy of the request must never
+                    # reach (and re-execute on) the server.
+                    current.cancelled = True
                     self._pending.pop(current.xid, None)
                     clone = Message(
                         op=request.op,
@@ -229,6 +256,9 @@ class RpcPeer:
                 self.tracer.end_span(span)
 
     def _serve_inner(self, message: Message) -> Generator:
+        if message.cancelled:
+            # The connection that carried it was torn down in flight.
+            return
         yield from self._charge(message.size)
         cached = self._duplicate_cache.get(message.xid)
         if cached is not None:
@@ -259,6 +289,16 @@ class RpcPeer:
         self._duplicate_cache[xid] = reply
         while len(self._duplicate_cache) > self.DUPLICATE_CACHE_SIZE:
             self._duplicate_cache.popitem(last=False)
+
+    def session_reset(self) -> None:
+        """Forget replay state across a transport-session boundary.
+
+        Models what a server reboot (knfsd's duplicate-request cache
+        lives in memory) or an iSCSI re-login (a fresh session starts a
+        new command sequence) does to the serving side; calls already
+        executing keep running.
+        """
+        self._duplicate_cache.clear()
 
     # -- CPU accounting -----------------------------------------------------------
 

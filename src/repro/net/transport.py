@@ -49,9 +49,15 @@ class DuplexTransport:
         name: str = "transport",
         tracer: Optional[NullTracer] = None,
     ):
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(
+                "loss_rate must be within [0, 1], got %r" % (loss_rate,))
         if loss_rate and reliable:
             raise ValueError("a reliable transport cannot drop messages")
         self.sim = sim
+        # Optional FaultInjector (repro.faults); None costs one load per
+        # delivery and keeps the unfaulted event sequence unchanged.
+        self.fault = None
         self.link = link
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.counters = counters if counters is not None else MessageCounters()
@@ -94,5 +100,17 @@ class DuplexTransport:
         delay = channel.delivery_delay(message.size)
         if not self.reliable and self.rng.random() < self.loss_rate:
             return  # the bytes were spent; the message never arrives
+        fault = self.fault
+        if fault is not None:
+            verdict, extra = fault.filter_message(
+                message, channel is self.link.forward)
+            if verdict is not None:
+                if verdict == "drop":
+                    return  # lost in flight; bytes were spent
+                if verdict == "delay":
+                    delay += extra
+                else:  # "duplicate": a second copy trails the first
+                    self.sim._schedule_call1(
+                        destination.inbox.put, message, delay + extra)
         # Flat calendar record: no per-message closure allocation.
         self.sim._schedule_call1(destination.inbox.put, message, delay)

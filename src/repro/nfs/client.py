@@ -38,7 +38,6 @@ from ..fs.errors import (
     FileExists,
     FileNotFound,
     InvalidArgument,
-    IsADirectory,
     NotADirectory,
 )
 from ..fs.inode import FileAttributes, FileType
@@ -176,7 +175,14 @@ class NfsClient:
         reply = yield from self.rpc.call(op, payload_bytes=payload_bytes, **body)
         status = reply.body.get("status", p.NfsStatus.OK)
         if status != p.NfsStatus.OK:
-            raise p.NfsStatus.to_exception(status, reply.body.get("detail", op))
+            error = p.NfsStatus.to_exception(status, reply.body.get("detail", op))
+            # A reply to a retransmitted exchange: the error may be an
+            # artifact of re-executing a non-idempotent op whose first
+            # reply was lost (e.g. EEXIST from a replayed CREATE after a
+            # server reboot emptied the duplicate-request cache).  Callers
+            # check this flag to apply standard retry semantics.
+            error.replayed = reply.is_retransmission
+            raise error
         attrs = reply.body.get("attrs")
         if attrs is not None:
             self._cache_attrs(attrs)
@@ -433,8 +439,16 @@ class NfsClient:
             self._deleg_create(parent, name, FileType.DIRECTORY, mode)
             return None
         yield from self._ensure_absent(parent, name)
-        reply = yield from self._call(p.MKDIR, dir=parent, name=name, mode=mode)
-        ino = reply.body["ino"]
+        try:
+            reply = yield from self._call(p.MKDIR, dir=parent, name=name,
+                                          mode=mode)
+            ino = reply.body["ino"]
+        except FileExists as error:
+            if not getattr(error, "replayed", False):
+                raise
+            # Replayed MKDIR whose first reply was lost: the directory
+            # exists because the first execution made it.
+            ino, _cached = yield from self._final_lookup(parent, name)
         self._cache_dentry(parent, name, ino, FileType.DIRECTORY)
         self._dir_contents.pop(parent, None)
         if self.params.version == 2:
@@ -453,7 +467,12 @@ class NfsClient:
             return None
         ino, cached = yield from self._final_lookup(parent, name)
         yield from self._revalidate_target(ino, cached)
-        yield from self._call(p.RMDIR, dir=parent, name=name)
+        try:
+            yield from self._call(p.RMDIR, dir=parent, name=name)
+        except FileNotFound as error:
+            if not getattr(error, "replayed", False):
+                raise
+            # Replayed RMDIR: the first execution already removed it.
         self._forget(parent, name, ino)
         if self.params.version >= 4:
             yield from self._getattr(parent)
@@ -554,18 +573,25 @@ class NfsClient:
                 ino = existing.ino
         else:
             try:
-                ino, cached = yield from self._final_lookup(parent, name)
+                ino, _cached = yield from self._final_lookup(parent, name)
             except FileNotFound:
                 if not flags & O_CREAT:
                     raise
-                reply = yield from self._call(
-                    p.CREATE, dir=parent, name=name, mode=mode
-                )
-                ino = reply.body["ino"]
+                try:
+                    reply = yield from self._call(
+                        p.CREATE, dir=parent, name=name, mode=mode
+                    )
+                    ino = reply.body["ino"]
+                except FileExists as error:
+                    if not getattr(error, "replayed", False):
+                        raise
+                    # Replayed CREATE whose first reply was lost: fall
+                    # back to LOOKUP, like Linux for non-exclusive opens.
+                    ino, _cached = yield from self._final_lookup(
+                        parent, name)
                 self._cache_dentry(parent, name, ino)
                 self._dir_contents.pop(parent, None)
                 created = True
-                cached = False
             if ino in self._symlink_inos:
                 ino = yield from self._resolve(path)
         if self.params.version >= 4 and not self._delegated(parent):
@@ -627,7 +653,12 @@ class NfsClient:
             return None
         ino, cached = yield from self._final_lookup(parent, name)
         yield from self._revalidate_target(ino, cached)
-        yield from self._call(p.REMOVE, dir=parent, name=name)
+        try:
+            yield from self._call(p.REMOVE, dir=parent, name=name)
+        except FileNotFound as error:
+            if not getattr(error, "replayed", False):
+                raise
+            # Replayed REMOVE: the first execution already unlinked it.
         self._forget(parent, name, ino)
         if self.params.version >= 4:
             yield from self._getattr(parent)
@@ -656,11 +687,16 @@ class NfsClient:
         except FileNotFound:
             pass
         yield from self._ensure_replayed(ino)
-        yield from self._call(
-            p.RENAME,
-            src_dir=src_parent, src_name=src_name,
-            dst_dir=dst_parent, dst_name=dst_name,
-        )
+        try:
+            yield from self._call(
+                p.RENAME,
+                src_dir=src_parent, src_name=src_name,
+                dst_dir=dst_parent, dst_name=dst_name,
+            )
+        except FileNotFound as error:
+            if not getattr(error, "replayed", False):
+                raise
+            # Replayed RENAME: the first execution already moved it.
         self._drop_dentry(src_parent, src_name)
         self._cache_dentry(dst_parent, dst_name, ino)
         self._dir_contents.pop(src_parent, None)
@@ -866,7 +902,6 @@ class NfsClient:
         if previous is None or first != previous + 1:
             return
         max_page = (file_size - 1) // PAGE_SIZE if file_size else 0
-        now = self.sim.now
         for index in range(last + 1, min(last + self.readahead_pages, max_page) + 1):
             key = (ino, index)
             if self._pages.peek(ino, index) is not None or key in self._inflight_pages:

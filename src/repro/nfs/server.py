@@ -20,7 +20,7 @@ Version-relevant behaviors:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Dict, Generator, Optional, Set
 
 from ..core.params import CpuParams, NfsParams
 from ..fs.errors import FsError, FileNotFound
@@ -97,6 +97,7 @@ class NfsServer:
         self.state = state if state is not None else ServerState()
         self.root_ino = ROOT_INO
         self.ops_served = 0
+        self.restarts = 0
         # Per-inode write serialization (the kernel's page/inode locking):
         # concurrent WRITEs to one file are processed one at a time, which
         # bounds streaming-write throughput exactly as the paper observed.
@@ -128,6 +129,29 @@ class NfsServer:
             p.DELEGUPDATE: self._op_delegupdate,
             p.FSSTAT: self._op_fsstat,
         }
+
+    # -- crash recovery (repro.faults) ----------------------------------------
+
+    def restart(self) -> None:
+        """The server process comes back after a crash.
+
+        v2/v3 are stateless — every request carries what the server needs,
+        so the only casualty is in-memory replay state (the duplicate-
+        request cache, knfsd's is not persistent).  A v4-style server also
+        loses its delegations and cache registrations: clients rediscover
+        and re-register through ordinary requests, exactly the grace-period
+        behavior the protocol's recovery story depends on.
+        """
+        self.restarts += 1
+        self.rpc.session_reset()
+        if self.params.version >= 4:
+            self.state.dir_delegations.clear()
+            self.state.cache_registry.clear()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "nfs.server-restart", cat="fault", track="server",
+                stateless=self.params.version < 4,
+            )
 
     # -- dispatch -------------------------------------------------------------------
 

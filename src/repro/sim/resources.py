@@ -19,7 +19,7 @@ for the CPU-utilization windows of Tables 9/10.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List, Optional, Tuple
+from typing import Any, Deque, Generator, List, Optional
 
 from .kernel import Event, SimulationError, Simulator
 from .stats import ResourceStats

@@ -48,6 +48,9 @@ class Disk(BlockDevice):
         self.queue = Resource(sim, capacity=1, name=name + ".queue")
         self._head = 0  # block number just past the last access
         self.busy_time = 0.0
+        # Service-time multiplier (repro.faults slow-disk windows); 1.0
+        # leaves the healthy timing untouched.
+        self.slowdown = 1.0
 
     # -- timing ----------------------------------------------------------------
 
@@ -79,6 +82,8 @@ class Disk(BlockDevice):
             yield from self.queue.acquire()
             try:
                 service = self.service_time(start, count, is_write)
+                if self.slowdown != 1.0:
+                    service *= self.slowdown
                 if not (is_write and self.params.write_back_cache):
                     self._head = start + count
                 self.busy_time += service

@@ -59,6 +59,14 @@ class Raid5Volume(BlockDevice):
         self.cpu = cpu
         self.parity_cpu_per_byte = parity_cpu_per_byte
         self.io_cpu = io_cpu
+        # Degraded-mode state (repro.faults).  While ``_failed`` names a
+        # spindle, reads of its units are reconstructed from the survivors
+        # and writes to it are skipped (the parity update covers them).
+        self._failed: Optional[int] = None
+        self.disk_failures = 0
+        self.degraded_reads = 0
+        self.degraded_writes = 0
+        self.rebuild_writes = 0
 
     # -- geometry -----------------------------------------------------------------
 
@@ -125,14 +133,14 @@ class Raid5Volume(BlockDevice):
         if self.tracer.enabled:
             span = self.tracer.begin_span(
                 "raid.read", cat="raid", track="server",
-                start=start, count=count,
+                start=start, count=count, degraded=self._failed is not None,
             )
         try:
             if self.cpu is not None and self.io_cpu > 0:
                 yield from self.cpu.use(self.io_cpu)
             runs = self._split_runs(start, count)
             jobs = [
-                self._spawn_io(self.disks[disk].read(physical, length))
+                self._read_job(disk, physical, length)
                 for disk, physical, length in runs
             ]
             yield self.sim.all_of(jobs)
@@ -170,8 +178,9 @@ class Raid5Volume(BlockDevice):
         """Write data + freshly computed parity, all spindles in parallel."""
         runs = self._split_runs(start, count)
         jobs = [
-            self._spawn_io(self.disks[disk].write(physical, length))
+            job
             for disk, physical, length in runs
+            if (job := self._write_job(disk, physical, length)) is not None
         ]
         # One parity write per stripe row, same extent shape as a data run.
         unit = self.raid.stripe_unit_blocks
@@ -179,7 +188,9 @@ class Raid5Volume(BlockDevice):
         for row_start in range(start, start + count, row_blocks):
             parity_disk = self.parity_disk_for(row_start)
             _disk, physical = self.locate(row_start)
-            jobs.append(self._spawn_io(self.disks[parity_disk].write(physical, unit)))
+            job = self._write_job(parity_disk, physical, unit)
+            if job is not None:
+                jobs.append(job)
         yield self.sim.all_of(jobs)
         return None
 
@@ -193,20 +204,22 @@ class Raid5Volume(BlockDevice):
         runs = self._split_runs(start, count)
         if self.disks[0].params.write_back_cache:
             jobs = [
-                self._spawn_io(self.disks[disk].write(physical, length))
+                job
                 for disk, physical, length in runs
+                if (job := self._write_job(disk, physical, length)) is not None
             ]
             parity_disk = self.parity_disk_for(start)
             _disk, physical = self.locate(start)
-            jobs.append(self._spawn_io(self.disks[parity_disk].write(physical, runs[0][2])))
+            job = self._write_job(parity_disk, physical, runs[0][2])
+            if job is not None:
+                jobs.append(job)
             yield self.sim.all_of(jobs)
             return None
         reads = []
         for disk, physical, length in runs:
-            reads.append(self._spawn_io(self.disks[disk].read(physical, length)))
+            reads.append(self._read_job(disk, physical, length))
         parity_reads = {}
         for run_index, (disk, physical, length) in enumerate(runs):
-            logical = start if run_index == 0 else None
             # Parity unit for the row containing this run.
             parity_disk = self.parity_disk_for(
                 start + sum(r[2] for r in runs[:run_index])
@@ -214,15 +227,102 @@ class Raid5Volume(BlockDevice):
             key = (parity_disk, physical)
             if key not in parity_reads:
                 parity_reads[key] = (parity_disk, physical, length)
-                reads.append(self._spawn_io(self.disks[parity_disk].read(physical, length)))
+                reads.append(self._read_job(parity_disk, physical, length))
         yield self.sim.all_of(reads)
-        writes = [
-            self._spawn_io(self.disks[disk].write(physical, length))
-            for disk, physical, length in runs
-        ]
+        writes = []
+        for disk, physical, length in runs:
+            job = self._write_job(disk, physical, length)
+            if job is not None:
+                writes.append(job)
         for parity_disk, physical, length in parity_reads.values():
-            writes.append(self._spawn_io(self.disks[parity_disk].write(physical, length)))
+            job = self._write_job(parity_disk, physical, length)
+            if job is not None:
+                writes.append(job)
         yield self.sim.all_of(writes)
+        return None
+
+    # -- degraded mode (repro.faults) -----------------------------------------
+
+    def _read_job(self, disk: int, physical: int, length: int) -> Process:
+        """Spawn the read for one run, reconstructing if its spindle failed."""
+        if disk == self._failed:
+            return self._spawn_io(self._reconstruct_read(physical, length))
+        return self._spawn_io(self.disks[disk].read(physical, length))
+
+    def _write_job(self, disk: int, physical: int, length: int) -> Optional[Process]:
+        """Spawn the write for one run; writes to the failed spindle are
+        skipped — the surviving data + parity updates carry the content."""
+        if disk == self._failed:
+            self.degraded_writes += 1
+            return None
+        return self._spawn_io(self.disks[disk].write(physical, length))
+
+    def _reconstruct_read(self, physical: int, length: int) -> Generator:
+        """Degraded read: fetch the extent from every survivor, XOR it back."""
+        self.degraded_reads += 1
+        failed = self._failed
+        jobs = [
+            self._spawn_io(self.disks[i].read(physical, length))
+            for i in range(len(self.disks))
+            if i != failed
+        ]
+        yield self.sim.all_of(jobs)
+        # The XOR over the surviving units costs the same CPU per byte as
+        # a parity computation of the reconstructed extent.
+        yield from self._charge_parity(length)
+        return None
+
+    def fail_disk(self, disk: int = 0) -> None:
+        """Take one spindle offline; subsequent I/O runs in degraded mode."""
+        if not 0 <= disk < len(self.disks):
+            raise ValueError("no such disk: %r" % (disk,))
+        if self._failed is not None:
+            raise RuntimeError(
+                "RAID-5 survives a single failure; disk %d is already out"
+                % (self._failed,)
+            )
+        self._failed = disk
+        self.disk_failures += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "raid.disk-fail", cat="fault", track="server", disk=disk,
+            )
+
+    def repair_disk(
+        self, disk: Optional[int] = None, rebuild_blocks: int = 2048
+    ) -> Generator:
+        """Coroutine: rebuild a replacement spindle, then leave degraded mode.
+
+        The rebuild walks the replaced disk one stripe unit at a time:
+        read that extent from every survivor, XOR the unit back together,
+        write it to the replacement.  The traffic competes with foreground
+        I/O on the same spindle queues, which is the point — rebuild
+        windows show up as a throughput dip in the experiment tables.
+        """
+        failed = self._failed if disk is None else disk
+        if failed is None or failed != self._failed:
+            return None
+        unit = self.raid.stripe_unit_blocks
+        at = 0
+        total = min(rebuild_blocks, self.disks[failed].nblocks)
+        while at < total:
+            length = min(unit, total - at)
+            survivors = [
+                self._spawn_io(self.disks[i].read(at, length))
+                for i in range(len(self.disks))
+                if i != failed
+            ]
+            yield self.sim.all_of(survivors)
+            yield from self._charge_parity(length)
+            yield from self.disks[failed].write(at, length)
+            self.rebuild_writes += 1
+            at += length
+        self._failed = None
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "raid.rebuilt", cat="fault", track="server",
+                disk=failed, blocks=total,
+            )
         return None
 
     def _charge_parity(self, count: int) -> Generator:

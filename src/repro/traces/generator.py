@@ -21,9 +21,8 @@ with the same relevant statistics, controlled per profile:
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List
 
 __all__ = ["TraceEvent", "TraceProfile", "EECS_PROFILE", "CAMPUS_PROFILE",

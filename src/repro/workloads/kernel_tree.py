@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
-from ..core.comparison import StorageStack, make_stack
+from ..core.comparison import make_stack
 from ..core.params import TestbedParams
 
 __all__ = ["TreeSpec", "KernelTreeResult", "KernelTreeOps"]
@@ -113,7 +113,7 @@ class KernelTreeOps:
             return None
 
         def ls() -> Generator:
-            names = yield from client.readdir("/linux")
+            yield from client.readdir("/linux")
             for d in dirs:
                 yield from client.readdir(d)
             for path, _size in files:

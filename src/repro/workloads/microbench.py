@@ -20,7 +20,7 @@ observation that v3/v4 asynchronous writes leave the capture window.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..core.comparison import StorageStack, make_stack
 from ..core.params import TestbedParams

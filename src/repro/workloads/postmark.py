@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..core.comparison import StorageStack, make_stack
+from ..core.comparison import make_stack
 from ..core.params import TestbedParams
 
 __all__ = ["PostmarkResult", "PostMark"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Optional
 
 from ..core.comparison import StorageStack, make_stack
 from ..core.counters import CountersSnapshot

@@ -18,10 +18,10 @@ by 8%.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from ..core.comparison import StorageStack, make_stack
+from ..core.comparison import make_stack
 from ..core.params import CacheParams, TestbedParams
 
 __all__ = ["OltpResult", "TpccWorkload"]

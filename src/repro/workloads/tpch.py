@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
-from ..core.comparison import StorageStack, make_stack
+from ..core.comparison import make_stack
 from ..core.params import TestbedParams
 
 __all__ = ["DssResult", "TpchWorkload"]

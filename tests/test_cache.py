@@ -1,11 +1,9 @@
 """Unit and property tests for the caching layer."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache import BlockCache, LruDict, PageCache
 from repro.core.params import DiskParams
-from repro.sim import Simulator
 from repro.storage import Disk
 
 

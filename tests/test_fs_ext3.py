@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.params import Ext3Params
 from repro.fs import (
     DirectoryNotEmpty,
     Ext3Fs,
@@ -12,7 +11,6 @@ from repro.fs import (
     ROOT_INO,
     Vfs,
 )
-from repro.sim import Simulator
 from repro.storage import Raid5Volume
 
 

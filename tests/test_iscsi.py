@@ -6,7 +6,6 @@ from repro.core import make_stack
 from repro.core.params import IscsiParams
 from repro.iscsi import IscsiInitiator, IscsiTarget, scsi
 from repro.net import DuplexTransport, Link, RpcPeer
-from repro.sim import Simulator
 from repro.storage import Raid5Volume
 
 

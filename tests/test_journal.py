@@ -1,6 +1,5 @@
 """Unit and property tests for the jbd-style journal."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache import BlockCache

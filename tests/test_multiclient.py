@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.multiclient import SharedNfsTestbed
-from repro.nfs import protocol as p
 
 
 def test_rejects_iscsi_and_single_client():

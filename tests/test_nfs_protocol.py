@@ -120,7 +120,6 @@ def test_stat_reflects_local_dirty_size(nfs_stack):
 
 def test_async_writes_are_deferred_and_flushed_by_close(nfs_stack):
     c = nfs_stack.client
-    snap = nfs_stack.snapshot()
 
     def work():
         fd = yield from c.creat("/lazy")
@@ -139,7 +138,6 @@ def test_async_writes_are_deferred_and_flushed_by_close(nfs_stack):
 def test_v2_writes_are_synchronous():
     stack = make_stack("nfsv2")
     c = stack.client
-    snap = stack.snapshot()
 
     def work():
         fd = yield from c.creat("/sync")

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    Interrupt,
-    SimulationError,
-    Simulator,
-)
+from repro.sim import Interrupt, SimulationError
 
 
 def test_clock_starts_at_zero(sim):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.params import DiskParams, RaidParams
+from repro.core.params import DiskParams
 from repro.sim import Simulator
 from repro.storage import Disk, Raid5Volume
 

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import STACK_KINDS, make_stack
-from repro.fs import FileExists, FileNotFound
 
 
 def _random_session(stack, seed, steps=120):

@@ -1,6 +1,5 @@
 """Focused tests for the NFS client's bounded async write-back machinery."""
 
-import pytest
 
 from repro.core import make_stack
 from repro.core.params import NfsParams, TestbedParams
