@@ -1,0 +1,492 @@
+"""simlint: a simulator-discipline linter for this repository.
+
+The paper's headline numbers are exact protocol message counts, so the
+repo's core contract is byte-reproducible determinism.  Most regressions
+that break that contract come from a handful of code shapes — wall-clock
+reads, unseeded randomness, iteration over unordered collections, float
+equality on the simulated clock, or simulator processes that mishandle
+events and resources.  ``simlint`` is a small AST pass (stdlib :mod:`ast`
+only) that flags exactly those shapes.
+
+Rule families
+-------------
+* **D-rules** — determinism hazards: anything that could make two runs of
+  the same seed diverge.
+* **P-rules** — simulator process discipline: misuse of the
+  generator-coroutine protocol of :mod:`repro.sim`.
+* **O-rules** — observability discipline: tracer hooks that bypass the
+  zero-cost ``NULL_TRACER`` pattern and would perturb untraced timing.
+
+Suppression
+-----------
+Append ``# simlint: disable=D101`` (comma-separate several codes, or use
+``all``) to the flagged line, or put ``# simlint: disable-file=D101``
+anywhere in the file to suppress a code file-wide.  Suppressions should
+carry a human reason on the same comment.
+
+Entry points: :func:`lint_source` for one buffer, :func:`lint_paths` for
+files/directory trees, and ``repro lint`` on the command line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "Violation",
+    "lint_source",
+    "lint_paths",
+    "format_text",
+    "format_json",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code, a name, and a one-line fix hint."""
+
+    code: str
+    name: str
+    hint: str
+
+
+_RULE_LIST = (
+    Rule("D101", "wall-clock-call",
+         "use the simulated clock (sim.now) instead of host time"),
+    Rule("D102", "unseeded-random",
+         "thread an explicitly seeded random.Random(seed) through"),
+    Rule("D103", "unordered-iteration",
+         "iterate sorted(...) so visit order is deterministic"),
+    Rule("D104", "float-time-equality",
+         "avoid ==/!= on simulated time; compare events or use tolerances"),
+    Rule("P201", "non-generator-process",
+         "process functions must yield; use yield/yield from inside"),
+    Rule("P202", "unreleased-acquire",
+         "follow acquire() with try/finally release(), or call use()"),
+    Rule("P203", "dropped-sim-result",
+         "yield (from) the call or assign its result; a bare call is a no-op"),
+    Rule("O301", "unguarded-tracer-hook",
+         "guard tracer calls with `if tracer.enabled:` (NULL_TRACER pattern)"),
+)
+
+RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where it is, which rule, and what was seen."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def hint(self) -> str:
+        return RULES[self.code].hint
+
+
+# -- rule tables --------------------------------------------------------------
+
+# D101: dotted call targets that read the host clock.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+})
+
+# D102: module-level random functions (the implicit global Mersenne
+# Twister, seeded from the OS — never reproducible across runs).
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "seed",
+})
+
+# P203: zero-argument-effect simulator calls whose *result* is the whole
+# point; a bare expression statement silently discards it.
+_SIM_RESULT_CALLS = frozenset({
+    "timeout", "event", "any_of", "all_of", "acquire", "use",
+    "hold", "park",
+})
+
+# P201: the entry points that turn a generator into a process.
+_PROCESS_ENTRY_POINTS = frozenset({"spawn", "run_process", "run"})
+
+# O301: tracer methods that must stay behind the `.enabled` guard.
+# end_span is excluded: `end_span(None)` is the documented safe no-op.
+_TRACER_HOOKS = frozenset({"begin_span", "instant", "message", "sample"})
+
+_DISABLE_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+
+def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-wide suppressed codes from magic comments."""
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_LINE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            by_line.setdefault(lineno, set()).update(codes)
+        match = _DISABLE_FILE.search(line)
+        if match:
+            file_wide.update(
+                c.strip() for c in match.group(1).split(",") if c.strip())
+    return by_line, file_wide
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_unordered(expr: ast.AST) -> bool:
+    """True when iterating ``expr`` visits elements in no defined order."""
+    # Unwrap order-preserving wrappers so `list(set(...))` still flags.
+    while (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+           and expr.func.id in ("list", "tuple", "enumerate", "reversed")
+           and expr.args):
+        expr = expr.args[0]
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")):
+        return True
+    return False
+
+
+def _mentions_now(expr: ast.AST) -> bool:
+    """True when the subtree reads something called ``now`` (sim time)."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == "now":
+            return True
+        if isinstance(node, ast.Name) and node.id == "now":
+            return True
+    return False
+
+
+def _receiver_is_tracer(func: ast.Attribute) -> bool:
+    """True for ``<...>tracer.<hook>()`` shaped receivers."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        name = value.attr
+    elif isinstance(value, ast.Name):
+        name = value.id
+    else:
+        return False
+    return "tracer" in name.lower()
+
+
+def _try_releases(try_node: ast.Try) -> bool:
+    """True when the try's finalbody calls ``.release()`` on something."""
+    for stmt in try_node.finalbody:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"):
+                return True
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass visitor; collects Violation records in ``found``."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = path
+        self.found: List[Violation] = []
+        # Parent links for ancestor queries (guards, try/finally shape).
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        # Name -> "is any def under this name a generator?"  P201 refuses
+        # to flag a name if at least one definition yields (methods on
+        # different classes may share names).
+        self.generator_defs: Dict[str, bool] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_gen = self._contains_yield(node)
+                previous = self.generator_defs.get(node.name, False)
+                self.generator_defs[node.name] = previous or is_gen
+
+    @staticmethod
+    def _receiver_runs_processes(func: ast.Attribute) -> bool:
+        """Limit ``.run`` to simulator-ish receivers.
+
+        ``spawn``/``run_process`` are unambiguous, but plenty of objects
+        have a ``run`` method (ExperimentRunner, subprocess wrappers...);
+        only flag it when the receiver is named like a simulator or a
+        stack (``sim``, ``self.sim``, ``stack``, ...).
+        """
+        if func.attr != "run":
+            return True
+        value = func.value
+        if isinstance(value, ast.Attribute):
+            name = value.attr
+        elif isinstance(value, ast.Name):
+            name = value.id
+        else:
+            return False
+        name = name.lower()
+        return "sim" in name or "stack" in name
+
+    @staticmethod
+    def _contains_yield(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if node is func:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue  # nested scopes don't make the outer a generator
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+        return False
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.found.append(Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+    def _ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    # -- call-shaped rules ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func) if isinstance(
+            node.func, (ast.Attribute, ast.Name)) else None
+
+        # D101: wall-clock reads.
+        if dotted in _WALLCLOCK_CALLS:
+            self._report(node, "D101",
+                         "wall-clock call %s() breaks determinism" % dotted)
+
+        # D102: the implicit module-level RNG, or an unseeded instance.
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (len(parts) == 2 and parts[0] == "random"
+                    and parts[1] in _GLOBAL_RNG_FNS):
+                self._report(node, "D102",
+                             "module-level %s() uses the global, "
+                             "unseeded RNG" % dotted)
+        if (dotted in ("random.Random", "Random") and not node.args
+                and not node.keywords):
+            self._report(node, "D102",
+                         "Random() with no seed is seeded from the OS")
+
+        # P201: spawning a locally defined non-generator as a process.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PROCESS_ENTRY_POINTS
+                and node.args
+                and self._receiver_runs_processes(node.func)):
+            first = node.args[0]
+            if (isinstance(first, ast.Call)
+                    and isinstance(first.func, ast.Name)
+                    and first.func.id in self.generator_defs
+                    and not self.generator_defs[first.func.id]):
+                self._report(
+                    node, "P201",
+                    "%s() given %s(), which never yields and so is "
+                    "not a process" % (node.func.attr, first.func.id))
+
+        # O301: tracer hooks outside the `.enabled` guard.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TRACER_HOOKS
+                and _receiver_is_tracer(node.func)):
+            guarded = False
+            for ancestor in self._ancestors(node):
+                if isinstance(ancestor, ast.If):
+                    for sub in ast.walk(ancestor.test):
+                        if (isinstance(sub, ast.Attribute)
+                                and sub.attr == "enabled"):
+                            guarded = True
+                            break
+                if guarded:
+                    break
+            if not guarded:
+                self._report(
+                    node, "O301",
+                    "tracer.%s() outside an `if tracer.enabled:` guard"
+                    % node.func.attr)
+
+        self.generic_visit(node)
+
+    # -- iteration-shaped rules ----------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_unordered(node.iter):
+            self._report(node.iter, "D103",
+                         "iterating an unordered set; visit order is "
+                         "nondeterministic")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for comp in node.generators:
+            if _is_unordered(comp.iter):
+                self._report(comp.iter, "D103",
+                             "comprehension iterates an unordered set")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    # -- comparison rules -----------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            if any(_mentions_now(operand) for operand in operands):
+                self._report(node, "D104",
+                             "exact ==/!= against simulated time (`now`) "
+                             "is float-fragile")
+        self.generic_visit(node)
+
+    # -- statement-shaped rules ----------------------------------------------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        # P203: a bare statement call whose simulator result is dropped.
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in _SIM_RESULT_CALLS):
+            self._report(node, "P203",
+                         ".%s() result dropped; the call alone does "
+                         "nothing" % value.func.attr)
+        # P202: `yield from x.acquire()` without a release path.
+        if (isinstance(value, ast.YieldFrom)
+                and isinstance(value.value, ast.Call)
+                and isinstance(value.value.func, ast.Attribute)
+                and value.value.func.attr == "acquire"):
+            if not self._acquire_is_released(node):
+                self._report(node, "P202",
+                             "acquire() without try/finally release() "
+                             "leaks a resource slot on error")
+        self.generic_visit(node)
+
+    def _acquire_is_released(self, stmt: ast.Expr) -> bool:
+        # (a) Inside a try whose finalbody releases.
+        for ancestor in self._ancestors(stmt):
+            if isinstance(ancestor, ast.Try) and _try_releases(ancestor):
+                return True
+        # (b) Immediately followed by such a try in the same body.
+        parent = self.parents.get(stmt)
+        if parent is None:
+            return False
+        for field in ("body", "orelse", "finalbody"):
+            body = getattr(parent, field, None)
+            if isinstance(body, list) and stmt in body:
+                index = body.index(stmt)
+                if index + 1 < len(body):
+                    after = body[index + 1]
+                    if isinstance(after, ast.Try) and _try_releases(after):
+                        return True
+        return False
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Violation]:
+    """Lint one source buffer; returns suppression-filtered violations."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, tree)
+    linter.visit(tree)
+    by_line, file_wide = _parse_suppressions(source)
+    out = []
+    for violation in linter.found:
+        if violation.code in file_wide or "all" in file_wide:
+            continue
+        line_codes = by_line.get(violation.line, ())
+        if violation.code in line_codes or "all" in line_codes:
+            continue
+        out.append(violation)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out
+
+
+def _iter_py_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git"))
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames) if name.endswith(".py"))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Sequence[str]) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    out: List[Violation] = []
+    for filename in _iter_py_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        out.extend(lint_source(source, path=filename))
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col: CODE message (hint: ...)`` line per finding."""
+    if not violations:
+        return "simlint: clean"
+    lines = [
+        "%s:%d:%d: %s %s (hint: %s)"
+        % (v.path, v.line, v.col, v.code, v.message, v.hint)
+        for v in violations
+    ]
+    lines.append("simlint: %d violation%s"
+                 % (len(violations), "" if len(violations) == 1 else "s"))
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    document = {
+        "tool": "simlint",
+        "rules": {code: {"name": rule.name, "hint": rule.hint}
+                  for code, rule in sorted(RULES.items())},
+        "violations": [
+            {"path": v.path, "line": v.line, "col": v.col,
+             "code": v.code, "message": v.message}
+            for v in violations
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -11,11 +11,12 @@ Usage::
     python -m repro fig6 [--mb 4]
     python -m repro fig7
     python -m repro sec7
-    python -m repro quick
+    python -m repro quick [--san]
     python -m repro faults <workload> [--stack KIND ...] [--plan P ...]
     python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
     python -m repro bench [--suite quick] [--out FILE] [--jobs N]
     python -m repro bench --compare OLD.json NEW.json [--tolerance 0.15]
+    python -m repro lint [paths ...] [--format text|json]
 
 Each artifact subcommand runs the corresponding experiment at a tractable
 scale and prints the same rows the paper reports.  Under the hood every
@@ -32,6 +33,12 @@ read on re-run.
 suites (see the README's "Profiling & benchmarking" section); ``repro
 list`` enumerates every subcommand.  For the asserted paper-vs-measured
 comparison, run the pytest benchmarks instead (see README).
+
+``lint`` runs the simulator-discipline linter (repro.check.simlint)
+over source trees; ``--san`` on the workload-running subcommands
+(quick, trace, bench, faults) attaches the runtime sanitizers
+(repro.check.simsan) — checks observe without perturbing, so sanitized
+outputs are bit-identical to unsanitized ones.
 """
 
 from __future__ import annotations
@@ -93,6 +100,8 @@ def cmd_list(_args) -> int:
           "bench (regression suites)")
     print("            faults (degraded-mode scenarios)  "
           "all (every artifact, parallel + cached)")
+    print("            lint (simulator-discipline linter); "
+          "--san arms the runtime sanitizers")
     print("commands:   %s" % " ".join(iter_subcommands()))
     return 0
 
@@ -112,12 +121,14 @@ FIG6_RTTS = (0.010, 0.030, 0.050, 0.070, 0.090)
 TRACE_LIMIT = 150_000
 
 
-def cells_quick() -> List[Cell]:
+def cells_quick(san: bool = False) -> List[Cell]:
+    if san:
+        return [_cell("quick", kind=kind, san=True) for kind in STACK_KINDS]
     return [_cell("quick", kind=kind) for kind in STACK_KINDS]
 
 
-def render_quick(results) -> None:
-    for cell in cells_quick():
+def render_quick(results, san: bool = False) -> None:
+    for cell in cells_quick(san):
         record = results[cell.id]
         print("%-14s msgs=%-5d bytes=%-8d t=%.2fms" % (
             cell.params["kind"], record["messages"], record["bytes"],
@@ -395,7 +406,13 @@ def render_sec7(results) -> None:
 
 
 def cmd_quick(args) -> int:
-    render_quick(_runner(args).run(cells_quick()))
+    san = getattr(args, "san", False)
+    render_quick(_runner(args).run(cells_quick(san)), san)
+    if san:
+        # stderr, so the table on stdout stays bit-identical to a
+        # non-sanitized run (the sanitizer contract).
+        print("sanitizers: clean (deadlock, leaks, event order, "
+              "message/reply/task conservation)", file=sys.stderr)
     return 0
 
 
@@ -523,10 +540,11 @@ def cmd_all(args) -> int:
 # repro.obs.bench (imported above as TRACE_WORKLOADS).
 
 
-def _run_traced(kind: str, workload: str):
-    stack = make_stack(kind, trace=True)
+def _run_traced(kind: str, workload: str, san: bool = False):
+    stack = make_stack(kind, trace=True, san=san)
     stack.run(TRACE_WORKLOADS[workload](stack.client))
     stack.quiesce()
+    stack.check()
     return stack
 
 
@@ -535,10 +553,10 @@ def cmd_trace(args) -> int:
                       render_timeline_diff, write_chrome_trace,
                       write_packet_trace)
 
-    stack = _run_traced(args.stack, args.workload)
+    stack = _run_traced(args.stack, args.workload, san=args.san)
     tracer = stack.tracer
     if args.diff:
-        other = _run_traced(args.diff, args.workload)
+        other = _run_traced(args.diff, args.workload, san=args.san)
         print(render_timeline_diff(tracer, args.stack,
                                    other.tracer, args.diff,
                                    limit=args.limit))
@@ -603,10 +621,17 @@ def _recovery_digest(record: Dict[str, Any]) -> str:
 def cmd_faults(args) -> int:
     stacks = tuple(args.stack)
     plans = ["none"] + [plan for plan in args.plan if plan != "none"]
+
+    def scenario_cell(kind: str, plan: str) -> Cell:
+        params: Dict[str, Any] = dict(
+            kind=kind, workload=args.workload,
+            plan=_plan_param(plan), seed=args.seed)
+        if args.san:
+            params["san"] = True
+        return _cell("faults_scenario", **params)
+
     labeled = [
-        (kind, plan,
-         _cell("faults_scenario", kind=kind, workload=args.workload,
-               plan=_plan_param(plan), seed=args.seed))
+        (kind, plan, scenario_cell(kind, plan))
         for kind in stacks
         for plan in plans
     ]
@@ -632,6 +657,16 @@ def cmd_faults(args) -> int:
         ["stack", "plan", "time", "vs none", "messages", "retrans",
          "faults", "recovery"],
         rows)
+    if args.san:
+        # Report mode: a faulted run legitimately abandons exchanges, so
+        # findings are informational here (stderr keeps the table clean).
+        for kind, plan, cell in labeled:
+            findings = results[cell.id].get("sanitizer") or []
+            print("san %s/%s: %s" % (
+                kind, plan,
+                "clean" if not findings else "; ".join(
+                    "[%s] %s" % (f["code"], f["message"])
+                    for f in findings)), file=sys.stderr)
     return 0
 
 
@@ -649,7 +684,7 @@ def cmd_bench(args) -> int:
         print(bench.format_compare(regressions, notes))
         return 1 if regressions else 0
     runner = ExperimentRunner(jobs=args.jobs, use_cache=args.cache)
-    result = bench.run_suite(args.suite, runner=runner)
+    result = bench.run_suite(args.suite, runner=runner, san=args.san)
     rows = []
     for case in sorted(result["cases"]):
         record = result["cases"][case]
@@ -662,6 +697,26 @@ def cmd_bench(args) -> int:
     bench.write_bench(result, out)
     print("\nwrote %s" % out)
     return 0
+
+
+# -- lint: the simulator-discipline linter --------------------------------------------
+
+
+def cmd_lint(args) -> int:
+    from .check import simlint
+
+    paths = args.paths
+    if not paths:
+        # Default: lint the installed package's own source tree.
+        import os
+
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    violations = simlint.lint_paths(paths)
+    if args.format == "json":
+        print(simlint.format_json(violations))
+    else:
+        print(simlint.format_text(violations))
+    return 1 if violations else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -678,8 +733,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run experiment cells on N worker processes "
              "(default: serial in-process; output is identical)")
 
+    # Shared by every workload-running subcommand: runtime sanitizers.
+    san_parent = argparse.ArgumentParser(add_help=False)
+    san_parent.add_argument(
+        "--san", action="store_true",
+        help="run under the repro.check.simsan runtime sanitizers "
+             "(deadlock/leak/order/conservation checks; observe-only, "
+             "output stays byte-identical)")
+
     sub.add_parser("list").set_defaults(func=cmd_list)
-    sub.add_parser("quick", parents=[jobs_parent]).set_defaults(func=cmd_quick)
+    sub.add_parser(
+        "quick", parents=[jobs_parent, san_parent],
+    ).set_defaults(func=cmd_quick)
 
     al = sub.add_parser(
         "all", parents=[jobs_parent],
@@ -743,7 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sec7", parents=[jobs_parent]).set_defaults(func=cmd_sec7)
 
     fl = sub.add_parser(
-        "faults", parents=[jobs_parent],
+        "faults", parents=[jobs_parent, san_parent],
         help="run a workload under fault plans and tabulate the "
              "degraded-mode cost (completion time, messages, recovery)",
     )
@@ -761,7 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
     fl.set_defaults(func=cmd_faults)
 
     tr = sub.add_parser(
-        "trace",
+        "trace", parents=[san_parent],
         help="run a workload with tracing on and export/inspect the trace",
     )
     tr.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
@@ -780,7 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr.set_defaults(func=cmd_trace)
 
     be = sub.add_parser(
-        "bench", parents=[jobs_parent],
+        "bench", parents=[jobs_parent, san_parent],
         help="run a benchmark suite to BENCH_<suite>.json, or compare "
              "two result files for regressions",
     )
@@ -798,6 +863,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="serve unchanged cases from the result cache "
                          "(off by default: bench is the regression gate)")
     be.set_defaults(func=cmd_bench)
+
+    li = sub.add_parser(
+        "lint",
+        help="run simlint, the simulator-discipline linter, over source "
+             "paths (default: the repro package itself); exits 1 on "
+             "violations",
+    )
+    li.add_argument("paths", nargs="*", metavar="PATH",
+                    help="files or directories to lint "
+                         "(default: the installed repro package)")
+    li.add_argument("--format", choices=["text", "json"], default="text",
+                    help="report format (default text)")
+    li.set_defaults(func=cmd_lint)
     return parser
 
 

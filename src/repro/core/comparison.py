@@ -48,14 +48,20 @@ class StorageStack:
 
     def __init__(self, kind: str, params: Optional[TestbedParams] = None,
                  trace: bool = False, tracer: Optional[NullTracer] = None,
-                 fault_plan=None):
+                 fault_plan=None, san: bool = False):
         if kind not in STACK_KINDS:
             raise ValueError("unknown stack kind %r; one of %s" % (kind, STACK_KINDS))
         self.kind = kind
         self.params = params if params is not None else TestbedParams()
         self.params = self._specialize_params(kind, self.params)
 
-        self.sim = Simulator()
+        # Sanitizers (repro.check.simsan): built only on request, so the
+        # default stack keeps the plain kernel and None hooks everywhere.
+        if san:
+            from ..check.simsan import CheckedSimulator
+            self.sim = CheckedSimulator()
+        else:
+            self.sim = Simulator()
         # Observability: a recording Tracer when requested, else the
         # zero-overhead NULL_TRACER (identical event sequence to untraced).
         if tracer is None:
@@ -111,6 +117,10 @@ class StorageStack:
                 initiator=self.initiator,
                 tracer=self.tracer,
             )
+        self.sanitizer = None
+        if san:
+            from ..check.simsan import SimSan
+            self.sanitizer = SimSan(self)
         self.mounted = False
 
     # -- construction ----------------------------------------------------------------
@@ -352,6 +362,22 @@ class StorageStack:
         out.extend(disk.queue for disk in self.raid.disks)
         return out
 
+    def rpc_peers(self):
+        """Both RPC peers of the stack (caller and server side)."""
+        if self.kind == "iscsi":
+            return [self.initiator.rpc, self.target.rpc]
+        return [self.nfs_client.rpc, self.server.rpc]
+
+    def check(self, strict: bool = True):
+        """Verify the runtime sanitizers (no-op unless built with san=True).
+
+        Returns the finding list; with ``strict`` (the default) raises
+        :class:`repro.check.simsan.SanitizerError` on any finding.
+        """
+        if self.sanitizer is None:
+            return []
+        return self.sanitizer.verify(strict=strict)
+
     def snapshot(self) -> CountersSnapshot:
         """Return an immutable copy of the current counter values."""
         return self.counters.snapshot()
@@ -376,7 +402,7 @@ class StorageStack:
 
 def make_stack(kind: str, params: Optional[TestbedParams] = None,
                mounted: bool = True, trace: bool = False,
-               fault_plan=None) -> StorageStack:
+               fault_plan=None, san: bool = False) -> StorageStack:
     """Build (and by default mount) a stack of the given kind.
 
     Pass ``trace=True`` to attach a recording :class:`repro.obs.Tracer`
@@ -384,8 +410,12 @@ def make_stack(kind: str, params: Optional[TestbedParams] = None,
     Pass a non-empty :class:`repro.faults.FaultPlan` as ``fault_plan`` to
     arm fault injection; its event clock starts *after* the mount, so plan
     times are relative to the beginning of the workload.
+    Pass ``san=True`` to run on a checking kernel with the runtime
+    sanitizers attached (``stack.check()`` verifies at end of run); the
+    checks observe only, so outputs stay bit-identical.
     """
-    stack = StorageStack(kind, params, trace=trace, fault_plan=fault_plan)
+    stack = StorageStack(kind, params, trace=trace, fault_plan=fault_plan,
+                         san=san)
     if mounted:
         stack.mount()
     if stack.fault_injector is not None:

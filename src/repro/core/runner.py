@@ -89,7 +89,7 @@ def cell_key(cell: Cell) -> str:
         {"version": __version__, "kind": cell.kind, "params": cell.params},
         sort_keys=True, separators=(",", ":"),
     )
-    return hashlib.sha256(spec.encode("utf-8")).hexdigest()
+    return hashlib.sha256(spec.encode()).hexdigest()
 
 
 def default_cache_dir() -> str:
@@ -231,11 +231,16 @@ class ExperimentRunner:
 
 
 @cell_kind("quick")
-def _cell_quick(kind: str) -> Dict[str, Any]:
-    """The ``repro quick`` smoke row for one stack kind."""
+def _cell_quick(kind: str, san: bool = False) -> Dict[str, Any]:
+    """The ``repro quick`` smoke row for one stack kind.
+
+    ``san=True`` runs the same workload under the runtime sanitizers
+    (:mod:`repro.check.simsan`); the result is byte-identical unless a
+    check fires, in which case the cell raises.
+    """
     from .comparison import make_stack
 
-    stack = make_stack(kind)
+    stack = make_stack(kind, san=san)
     client = stack.client
 
     def work():
@@ -248,6 +253,7 @@ def _cell_quick(kind: str) -> Dict[str, Any]:
     snap = stack.snapshot()
     stack.run(work())
     stack.quiesce()
+    stack.check()
     delta = stack.delta(snap)
     return {"messages": delta.messages, "bytes": delta.total_bytes,
             "now_s": stack.now}
@@ -416,29 +422,34 @@ def _cell_metadata_cache(limit: int) -> Dict[str, Dict[str, Any]]:
 
 
 @cell_kind("bench_case")
-def _cell_bench_case(workload: str, stack: str) -> Dict[str, Any]:
+def _cell_bench_case(workload: str, stack: str,
+                     san: bool = False) -> Dict[str, Any]:
     """One traced case of a ``repro bench`` suite."""
     from ..obs.bench import run_case
 
-    return run_case(workload, stack)
+    return run_case(workload, stack, san=san)
 
 
 @cell_kind("faults_scenario")
 def _cell_faults_scenario(kind: str, workload: str, plan: Any,
-                          seed: int = 0) -> Dict[str, Any]:
+                          seed: int = 0, san: bool = False) -> Dict[str, Any]:
     """One (stack, workload, fault plan) degraded-mode scenario.
 
     ``plan`` is a preset name or an inline JSON spec (cells must be pure
     functions of JSON params, so file paths are resolved by the CLI
     before the cell is built).  The fault clock starts with the workload;
     the quiesce runs after, so recovery traffic is part of the counts.
+
+    ``san=True`` attaches the runtime sanitizers in *report* mode: a
+    faulted run legitimately abandons in-flight exchanges, so findings
+    are returned under ``result["sanitizer"]`` instead of raising.
     """
     from ..faults import resolve_plan
     from ..obs.bench import WORKLOADS
     from .comparison import make_stack
 
     fault_plan = resolve_plan(plan, seed=seed)
-    stack = make_stack(kind, fault_plan=fault_plan)
+    stack = make_stack(kind, fault_plan=fault_plan, san=san)
     snap = stack.snapshot()
     start = stack.now
     stack.run(WORKLOADS[workload](stack.client), name=workload)
@@ -468,4 +479,9 @@ def _cell_faults_scenario(kind: str, workload: str, plan: Any,
     recovery["degraded_writes"] = stack.raid.degraded_writes
     recovery["rebuild_writes"] = stack.raid.rebuild_writes
     result["recovery"] = recovery
+    if san:
+        result["sanitizer"] = [
+            {"code": finding.code, "message": finding.message}
+            for finding in stack.check(strict=False)
+        ]
     return result

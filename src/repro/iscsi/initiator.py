@@ -46,6 +46,9 @@ class IscsiInitiator(BlockDevice):
         self.cpu = cpu
         self.cpu_params = cpu_params if cpu_params is not None else CpuParams()
         self.commands_issued = 0
+        # Completions mirror issues; the simsan task-set check (S406)
+        # asserts the two agree at end of run.
+        self.commands_completed = 0
         # Session-recovery machinery (repro.faults).  Dormant by default:
         # fault_mode=False keeps the original direct-call path (and event
         # sequence) for every unfaulted run.
@@ -187,6 +190,7 @@ class IscsiInitiator(BlockDevice):
                 self.cpu_params.scsi_layer + self.cpu_params.driver_layer
             )
             yield from self._exchange(op, payload, lba=lba, count=count)
+            self.commands_completed += 1
         finally:
             if span is not None:
                 self.tracer.end_span(span)

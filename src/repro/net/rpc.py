@@ -112,6 +112,9 @@ class RpcPeer:
         self.per_byte_cpu = per_byte_cpu
         self.retransmit = retransmit
         self.name = name
+        # Optional RpcSan (repro.check.simsan): observation-only hooks,
+        # same None-guarded pattern as the transport's fault hook.
+        self.san = None
         self.handler: Optional[Handler] = None
         self._pending: Dict[int, Event] = {}
         self._duplicate_cache: "OrderedDict[int, Message]" = OrderedDict()
@@ -143,6 +146,8 @@ class RpcPeer:
             body=body,
         )
         self.calls_issued += 1
+        if self.san is not None:
+            self.san.note_issued(request.xid)
         span = None
         if self.tracer.enabled:
             span = self.tracer.begin_span(
@@ -203,6 +208,8 @@ class RpcPeer:
                     )
                     reply_event = self.sim.event()
                     self._pending[clone.xid] = reply_event
+                    if self.san is not None:
+                        self.san.note_issued(clone.xid)
                 else:
                     clone = Message(
                         op=request.op,
@@ -241,6 +248,8 @@ class RpcPeer:
         if pending is not None:
             pending.trigger(message)
         # else: a duplicate reply for a retransmitted call — dropped.
+        elif self.san is not None:
+            self.san.note_orphan_reply(message.xid)
 
     def _serve(self, message: Message) -> Generator:
         span = None
@@ -256,14 +265,21 @@ class RpcPeer:
                 self.tracer.end_span(span)
 
     def _serve_inner(self, message: Message) -> Generator:
+        san = self.san
+        if san is not None:
+            san.note_request(message)
         if message.cancelled:
             # The connection that carried it was torn down in flight.
+            if san is not None:
+                san.note_request_cancelled(message)
             return
         yield from self._charge(message.size)
         cached = self._duplicate_cache.get(message.xid)
         if cached is not None:
             # Retransmitted request: replay the reply without re-executing.
             self.retransmissions_seen += 1
+            if san is not None:
+                san.note_request_replayed(message)
             yield from self._charge(cached.size)
             self._send(cached)
             return
@@ -271,6 +287,8 @@ class RpcPeer:
             # Retransmission of a call still executing: drop it — the
             # original execution's reply will satisfy the caller.
             self.retransmissions_seen += 1
+            if san is not None:
+                san.note_request_dropped_in_progress(message)
             return
         if self.handler is None:
             raise RpcError("%s received a call but has no handler" % (self.name,))
@@ -281,6 +299,8 @@ class RpcPeer:
             self._in_progress.discard(message.xid)
         reply = message.make_reply(payload_bytes=payload_bytes, **body)
         self.calls_served += 1
+        if san is not None:
+            san.note_request_served(message)
         self._remember_reply(message.xid, reply)
         yield from self._charge(reply.size)
         self._send(reply)

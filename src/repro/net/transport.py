@@ -58,6 +58,10 @@ class DuplexTransport:
         # Optional FaultInjector (repro.faults); None costs one load per
         # delivery and keeps the unfaulted event sequence unchanged.
         self.fault = None
+        # Optional TransportSan (repro.check.simsan): same pattern — the
+        # hooks are bare counter increments, so a sanitized run's event
+        # sequence is identical to an unsanitized one.
+        self.san = None
         self.link = link
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.counters = counters if counters is not None else MessageCounters()
@@ -98,7 +102,12 @@ class DuplexTransport:
 
     def _deliver(self, message: Message, channel, destination: Endpoint) -> None:
         delay = channel.delivery_delay(message.size)
+        san = self.san
+        if san is not None:
+            san.note_send(message)
         if not self.reliable and self.rng.random() < self.loss_rate:
+            if san is not None:
+                san.note_loss(message)
             return  # the bytes were spent; the message never arrives
         fault = self.fault
         if fault is not None:
@@ -106,11 +115,17 @@ class DuplexTransport:
                 message, channel is self.link.forward)
             if verdict is not None:
                 if verdict == "drop":
+                    if san is not None:
+                        san.note_fault_drop(message)
                     return  # lost in flight; bytes were spent
                 if verdict == "delay":
                     delay += extra
                 else:  # "duplicate": a second copy trails the first
+                    if san is not None:
+                        san.note_fault_duplicate(message)
                     self.sim._schedule_call1(
                         destination.inbox.put, message, delay + extra)
+        if san is not None:
+            san.note_scheduled(message)
         # Flat calendar record: no per-message closure allocation.
         self.sim._schedule_call1(destination.inbox.put, message, delay)

@@ -1354,7 +1354,9 @@ class NfsClient:
 
     def _just_revalidated(self, ino: int) -> bool:
         """True if this op's walk already revalidated ``ino`` right now."""
-        return self._revalidated == (ino, self.sim.now)
+        # The marker is (ino, clock-at-revalidation); "same instant" is
+        # deliberately exact equality — any clock advance must invalidate.
+        return self._revalidated == (ino, self.sim.now)  # simlint: disable=D104
 
     def _ensure_absent(self, parent: int, name: str) -> Generator:
         try:

@@ -107,8 +107,14 @@ def _workload_postmark(client, files=20, transactions=60, seed=42):
     yield from client.rmdir("/pm")
 
 
-def _make_io_workload(sequential: bool, write: bool, file_mb: int = 2):
-    """Sequential/random whole-file reader or writer over 64 KB requests."""
+def _make_io_workload(sequential: bool, write: bool, file_mb: int = 2,
+                      seed: int = 7):
+    """Sequential/random whole-file reader or writer over 64 KB requests.
+
+    ``seed`` fixes the random permutation's RNG: the offset order (and
+    so every message count downstream) is a pure function of the
+    arguments, per the repo's determinism contract.
+    """
 
     def workload(client):
         import random
@@ -120,7 +126,7 @@ def _make_io_workload(sequential: bool, write: bool, file_mb: int = 2):
         yield from client.pwrite(fd, size, 0)
         yield from client.fsync(fd)
         if not sequential:
-            random.Random(7).shuffle(offsets)
+            random.Random(seed).shuffle(offsets)
         for offset in offsets:
             if write:
                 yield from client.pwrite(fd, request, offset)
@@ -162,24 +168,29 @@ SUITES: Dict[str, Tuple[Tuple[str, Tuple[str, ...]], ...]] = {
 # -- running ------------------------------------------------------------------
 
 
-def run_case(workload: str, kind: str) -> Dict[str, Any]:
+def run_case(workload: str, kind: str, san: bool = False) -> Dict[str, Any]:
     """Run one traced workload on one stack; return its JSON-ready record.
 
     ``completion_time_s`` is the application's elapsed time;
     ``total_time_s`` additionally covers the quiesce (asynchronous
     write-back and journal settling), matching the paper's packet-capture
     window.  Message and byte counts include the quiesce traffic.
+
+    With ``san=True`` the run carries the runtime sanitizers
+    (:mod:`repro.check.simsan`) and fails loudly on any finding; the
+    record itself is byte-identical to an unsanitized run.
     """
     # Imported lazily: repro.obs must stay importable while
     # repro.core.comparison (which imports repro.obs) initializes.
     from ..core.comparison import make_stack
 
-    stack = make_stack(kind, trace=True)
+    stack = make_stack(kind, trace=True, san=san)
     snap = stack.snapshot()
     start = stack.now
     stack.run(WORKLOADS[workload](stack.client), name=workload)
     elapsed = stack.now - start
     stack.quiesce()
+    stack.check()
     delta = stack.delta(snap)
     profile = Profile(stack.tracer)
 
@@ -226,22 +237,31 @@ def run_case(workload: str, kind: str) -> Dict[str, Any]:
     }
 
 
-def suite_cells(suite: str):
-    """The suite as a list of runner cells (one per workload x stack)."""
+def suite_cells(suite: str, san: bool = False):
+    """The suite as a list of runner cells (one per workload x stack).
+
+    Cell ids stay ``workload/kind`` either way, so a sanitized suite
+    document is keyed identically to an unsanitized one; the ``san``
+    param only enters the cell params (and thus the cache key).
+    """
     from ..core.runner import Cell
 
     if suite not in SUITES:
         raise ValueError("unknown suite %r; one of %s"
                          % (suite, sorted(SUITES)))
-    return [
-        Cell("%s/%s" % (workload, kind), "bench_case",
-             {"workload": workload, "stack": kind})
-        for workload, kinds in SUITES[suite]
-        for kind in kinds
-    ]
+    cells = []
+    for workload, kinds in SUITES[suite]:
+        for kind in kinds:
+            params = {"workload": workload, "stack": kind}
+            if san:
+                params["san"] = True
+            cells.append(Cell("%s/%s" % (workload, kind), "bench_case",
+                              params))
+    return cells
 
 
-def run_suite(suite: str, runner: Optional[Any] = None) -> Dict[str, Any]:
+def run_suite(suite: str, runner: Optional[Any] = None,
+              san: bool = False) -> Dict[str, Any]:
     """Run every case of the named suite; return the versioned document.
 
     ``runner`` is an optional
@@ -249,13 +269,14 @@ def run_suite(suite: str, runner: Optional[Any] = None) -> Dict[str, Any]:
     fan-out and result caching; by default the cases run serially
     in-process with no cache.  Either way the case records are keyed and
     ordered by cell id, so the emitted document is byte-identical across
-    ``--jobs`` settings.
+    ``--jobs`` settings — and, because sanitizers observe without
+    perturbing, across ``san`` settings too.
     """
     from ..core.runner import ExperimentRunner
 
     if runner is None:
         runner = ExperimentRunner(jobs=None, use_cache=False)
-    cases = runner.run(suite_cells(suite))
+    cases = runner.run(suite_cells(suite, san=san))
     return {"schema": SCHEMA_VERSION, "suite": suite, "cases": cases}
 
 

@@ -157,7 +157,8 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "tid": 0, "args": {"name": track}})
     for tid, name in sorted(tracer.tid_names.items()):
-        for pid in set(_pid(s.track) for s in tracer.spans if s.tid == tid):
+        for pid in sorted({_pid(s.track) for s in tracer.spans
+                           if s.tid == tid}):
             events.append({"name": "thread_name", "ph": "M", "pid": pid,
                            "tid": tid, "args": {"name": name}})
     for span in tracer.spans:

@@ -219,7 +219,7 @@ class Raid5Volume(BlockDevice):
         for disk, physical, length in runs:
             reads.append(self._read_job(disk, physical, length))
         parity_reads = {}
-        for run_index, (disk, physical, length) in enumerate(runs):
+        for run_index, (_disk, physical, length) in enumerate(runs):
             # Parity unit for the row containing this run.
             parity_disk = self.parity_disk_for(
                 start + sum(r[2] for r in runs[:run_index])

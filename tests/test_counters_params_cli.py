@@ -48,7 +48,9 @@ def test_snapshot_is_immutable_record():
     snap = counters.snapshot()
     counters.count_request("X", 1)
     assert snap.requests == 1
-    with pytest.raises(Exception):
+    # Frozen dataclass: assignment raises FrozenInstanceError
+    # (an AttributeError subclass).
+    with pytest.raises(AttributeError):
         snap.requests = 5
 
 

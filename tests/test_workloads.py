@@ -125,7 +125,7 @@ def test_random_reads_slower_than_sequential(seqrand_results):
 
 
 def test_bytes_track_payload(seqrand_results):
-    for key, result in seqrand_results.items():
+    for result in seqrand_results.values():
         assert result.bytes > 8 * 1024 * 1024   # at least the file itself
 
 
