@@ -74,6 +74,8 @@ _RULE_LIST = (
          "yield (from) the call or assign its result; a bare call is a no-op"),
     Rule("O301", "unguarded-tracer-hook",
          "guard tracer calls with `if tracer.enabled:` (NULL_TRACER pattern)"),
+    Rule("O302", "unguarded-telemetry-hook",
+         "guard telemetry pushes with `if telem is not None:` (opt-in layer)"),
 )
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
@@ -130,6 +132,11 @@ _PROCESS_ENTRY_POINTS = frozenset({"spawn", "run_process", "run"})
 # O301: tracer methods that must stay behind the `.enabled` guard.
 # end_span is excluded: `end_span(None)` is the documented safe no-op.
 _TRACER_HOOKS = frozenset({"begin_span", "instant", "message", "sample"})
+
+# O302: telemetry push hooks.  Unlike the tracer there is no null object:
+# the disabled layer is the attribute being None, so every push must sit
+# under an `if telem is not None:` (or truthiness) check.
+_TELEM_HOOKS = frozenset({"count", "observe"})
 
 _DISABLE_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+)")
@@ -198,6 +205,29 @@ def _receiver_is_tracer(func: ast.Attribute) -> bool:
     else:
         return False
     return "tracer" in name.lower()
+
+
+def _receiver_is_telem(func: ast.Attribute) -> bool:
+    """True for ``<...>telem*.<hook>()`` shaped receivers."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        name = value.attr
+    elif isinstance(value, ast.Name):
+        name = value.id
+    else:
+        return False
+    return "telem" in name.lower()
+
+
+def _mentions_telem(test: ast.expr) -> bool:
+    """True when an ``if`` test inspects a telem-ish name — either a
+    ``x is not None`` comparison or a plain truthiness check."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and "telem" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Name) and "telem" in sub.id.lower():
+            return True
+    return False
 
 
 def _try_releases(try_node: ast.Try) -> bool:
@@ -338,6 +368,22 @@ class _Linter(ast.NodeVisitor):
                     node, "O301",
                     "tracer.%s() outside an `if tracer.enabled:` guard"
                     % node.func.attr)
+
+        # O302: telemetry pushes outside the `is not None` guard.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TELEM_HOOKS
+                and _receiver_is_telem(node.func)):
+            guarded = False
+            for ancestor in self._ancestors(node):
+                if (isinstance(ancestor, ast.If)
+                        and _mentions_telem(ancestor.test)):
+                    guarded = True
+                    break
+            if not guarded:
+                self._report(
+                    node, "O302",
+                    "telemetry %s() outside an `if telem is not None:` "
+                    "guard" % node.func.attr)
 
         self.generic_visit(node)
 

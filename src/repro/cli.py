@@ -11,11 +11,12 @@ Usage::
     python -m repro fig6 [--mb 4]
     python -m repro fig7
     python -m repro sec7
-    python -m repro quick [--san]
+    python -m repro quick [--san] [--telemetry]
     python -m repro faults <workload> [--stack KIND ...] [--plan P ...]
     python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
     python -m repro bench [--suite quick] [--out FILE] [--jobs N]
-    python -m repro bench --compare OLD.json NEW.json [--tolerance 0.15]
+    python -m repro bench --compare OLD.json NEW.json [--format text|json]
+    python -m repro dash <workload> [--stack KIND ...] [--html FILE]
     python -m repro lint [paths ...] [--format text|json]
 
 Each artifact subcommand runs the corresponding experiment at a tractable
@@ -39,6 +40,14 @@ over source trees; ``--san`` on the workload-running subcommands
 (quick, trace, bench, faults) attaches the runtime sanitizers
 (repro.check.simsan) — checks observe without perturbing, so sanitized
 outputs are bit-identical to unsanitized ones.
+
+``dash`` renders per-tier utilization/queue-depth timelines from the
+streaming telemetry layer (repro.obs.telemetry) as an ASCII dashboard
+(plus ``--html`` self-contained export); ``--telemetry`` on quick,
+bench, and faults carries the same collector alongside the normal run —
+rollups and watcher findings are summarized on stderr while stdout and
+``BENCH_*.json`` stay byte-identical.  ``repro all`` additionally
+prints run heartbeats (cells done, cache hits, wall rate) to stderr.
 """
 
 from __future__ import annotations
@@ -100,8 +109,10 @@ def cmd_list(_args) -> int:
           "bench (regression suites)")
     print("            faults (degraded-mode scenarios)  "
           "all (every artifact, parallel + cached)")
-    print("            lint (simulator-discipline linter); "
-          "--san arms the runtime sanitizers")
+    print("            dash (streaming-telemetry dashboards)  "
+          "lint (simulator-discipline linter)")
+    print("            --san arms the runtime sanitizers; "
+          "--telemetry attaches streaming rollups")
     print("commands:   %s" % " ".join(iter_subcommands()))
     return 0
 
@@ -121,14 +132,20 @@ FIG6_RTTS = (0.010, 0.030, 0.050, 0.070, 0.090)
 TRACE_LIMIT = 150_000
 
 
-def cells_quick(san: bool = False) -> List[Cell]:
-    if san:
-        return [_cell("quick", kind=kind, san=True) for kind in STACK_KINDS]
-    return [_cell("quick", kind=kind) for kind in STACK_KINDS]
+def cells_quick(san: bool = False, telemetry: bool = False) -> List[Cell]:
+    cells = []
+    for kind in STACK_KINDS:
+        params: Dict[str, Any] = {"kind": kind}
+        if san:
+            params["san"] = True
+        if telemetry:
+            params["telemetry"] = True
+        cells.append(_cell("quick", **params))
+    return cells
 
 
-def render_quick(results, san: bool = False) -> None:
-    for cell in cells_quick(san):
+def render_quick(results, san: bool = False, telemetry: bool = False) -> None:
+    for cell in cells_quick(san, telemetry):
         record = results[cell.id]
         print("%-14s msgs=%-5d bytes=%-8d t=%.2fms" % (
             cell.params["kind"], record["messages"], record["bytes"],
@@ -405,14 +422,36 @@ def render_sec7(results) -> None:
 # -- artifact commands ----------------------------------------------------------------
 
 
+def _telemetry_summary(runner: ExperimentRunner) -> None:
+    """Status lines for a telemetry-carrying run — stderr only, so every
+    stdout/JSON artifact stays byte-identical to a plain run."""
+    snapshot = runner.telemetry
+    if snapshot is None:
+        return
+    print("telemetry: %d series, %d samples, %d cells"
+          % (len(snapshot["series"]), snapshot["samples"],
+             len(runner.telemetry_by_cell)), file=sys.stderr)
+    if snapshot["findings"]:
+        for code, series, message in snapshot["findings"]:
+            print("telemetry %s %s: %s" % (code, series, message),
+                  file=sys.stderr)
+    else:
+        print("telemetry watchers: clean (queue growth, pegged "
+              "utilization, progress stall)", file=sys.stderr)
+
+
 def cmd_quick(args) -> int:
     san = getattr(args, "san", False)
-    render_quick(_runner(args).run(cells_quick(san)), san)
+    telemetry = getattr(args, "telemetry", False)
+    runner = _runner(args)
+    render_quick(runner.run(cells_quick(san, telemetry)), san, telemetry)
     if san:
         # stderr, so the table on stdout stays bit-identical to a
         # non-sanitized run (the sanitizer contract).
         print("sanitizers: clean (deadlock, leaks, event order, "
               "message/reply/task conservation)", file=sys.stderr)
+    if telemetry:
+        _telemetry_summary(runner)
     return 0
 
 
@@ -524,7 +563,10 @@ def all_cells() -> List[Cell]:
 
 
 def cmd_all(args) -> int:
-    runner = ExperimentRunner(jobs=args.jobs, use_cache=not args.no_cache)
+    # Heartbeats keep long --jobs runs from looking hung; they go to
+    # stderr, so the artifact output on stdout is unchanged.
+    runner = ExperimentRunner(jobs=args.jobs, use_cache=not args.no_cache,
+                              heartbeat=True)
     results = runner.run(all_cells())
     for name, _cells_fn, render in ALL_SECTIONS:
         print("\n== %s ==" % name)
@@ -628,6 +670,8 @@ def cmd_faults(args) -> int:
             plan=_plan_param(plan), seed=args.seed)
         if args.san:
             params["san"] = True
+        if args.telemetry:
+            params["telemetry"] = True
         return _cell("faults_scenario", **params)
 
     labeled = [
@@ -635,7 +679,8 @@ def cmd_faults(args) -> int:
         for kind in stacks
         for plan in plans
     ]
-    results = _runner(args).run([cell for _kind, _plan, cell in labeled])
+    runner = _runner(args)
+    results = runner.run([cell for _kind, _plan, cell in labeled])
     rows = []
     baseline: Dict[str, float] = {}
     for kind, plan, cell in labeled:
@@ -667,6 +712,8 @@ def cmd_faults(args) -> int:
                 "clean" if not findings else "; ".join(
                     "[%s] %s" % (f["code"], f["message"])
                     for f in findings)), file=sys.stderr)
+    if args.telemetry:
+        _telemetry_summary(runner)
     return 0
 
 
@@ -681,10 +728,15 @@ def cmd_bench(args) -> int:
         current = bench.load_bench(args.compare[1])
         regressions, notes = bench.compare(
             baseline, current, tolerance=args.tolerance)
-        print(bench.format_compare(regressions, notes))
+        if args.format == "json":
+            # Machine-readable for CI annotations; same exit semantics.
+            sys.stdout.write(bench.format_compare_json(regressions, notes))
+        else:
+            print(bench.format_compare(regressions, notes))
         return 1 if regressions else 0
     runner = ExperimentRunner(jobs=args.jobs, use_cache=args.cache)
-    result = bench.run_suite(args.suite, runner=runner, san=args.san)
+    result = bench.run_suite(args.suite, runner=runner, san=args.san,
+                             telemetry=args.telemetry)
     rows = []
     for case in sorted(result["cases"]):
         record = result["cases"][case]
@@ -696,6 +748,39 @@ def cmd_bench(args) -> int:
     out = args.out or ("BENCH_%s.json" % args.suite)
     bench.write_bench(result, out)
     print("\nwrote %s" % out)
+    if args.telemetry:
+        _telemetry_summary(runner)
+    return 0
+
+
+# -- dash: streaming-telemetry dashboards ---------------------------------------------
+
+
+def cmd_dash(args) -> int:
+    from .obs.dashboard import render_dashboard, write_html
+
+    cells = [_cell("telemetry_run", kind=kind, workload=args.workload,
+                   heartbeat=bool(args.heartbeat))
+             for kind in args.stack]
+    runner = _runner(args)
+    runner.run(cells)
+    sections: List[Tuple[str, Dict[str, Any]]] = []
+    for cell in cells:
+        title = "%s on %s" % (args.workload, cell.params["kind"])
+        snapshot = runner.telemetry_by_cell[cell.id]
+        sections.append((title, snapshot))
+        print(render_dashboard(snapshot, title=title, width=args.width))
+    if len(cells) > 1:
+        # The runner's deterministic cross-cell aggregate: what a
+        # fan-out over many clients/cells would report as one fleet.
+        title = "%s merged across %d stacks" % (args.workload, len(cells))
+        sections.append((title, runner.telemetry))
+        print(render_dashboard(runner.telemetry, title=title,
+                               width=args.width))
+    if args.html:
+        write_html(args.html, sections,
+                   title="repro dash: %s" % args.workload)
+        print("html dashboard: %s" % args.html)
     return 0
 
 
@@ -741,9 +826,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(deadlock/leak/order/conservation checks; observe-only, "
              "output stays byte-identical)")
 
+    # Shared by quick/bench/faults: the streaming telemetry layer.
+    telem_parent = argparse.ArgumentParser(add_help=False)
+    telem_parent.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the repro.obs.telemetry streaming collector "
+             "(bounded-memory rollups + invariant watchers); summary on "
+             "stderr, stdout/JSON output stays byte-identical)")
+
     sub.add_parser("list").set_defaults(func=cmd_list)
     sub.add_parser(
-        "quick", parents=[jobs_parent, san_parent],
+        "quick", parents=[jobs_parent, san_parent, telem_parent],
     ).set_defaults(func=cmd_quick)
 
     al = sub.add_parser(
@@ -808,7 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sec7", parents=[jobs_parent]).set_defaults(func=cmd_sec7)
 
     fl = sub.add_parser(
-        "faults", parents=[jobs_parent, san_parent],
+        "faults", parents=[jobs_parent, san_parent, telem_parent],
         help="run a workload under fault plans and tabulate the "
              "degraded-mode cost (completion time, messages, recovery)",
     )
@@ -845,7 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr.set_defaults(func=cmd_trace)
 
     be = sub.add_parser(
-        "bench", parents=[jobs_parent, san_parent],
+        "bench", parents=[jobs_parent, san_parent, telem_parent],
         help="run a benchmark suite to BENCH_<suite>.json, or compare "
              "two result files for regressions",
     )
@@ -859,10 +952,33 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional completion-time growth "
                          "(default 0.15; message counts must be exact)")
+    be.add_argument("--format", choices=["text", "json"], default="text",
+                    help="--compare report format (default text; json is "
+                         "the machine-readable form CI annotates from)")
     be.add_argument("--cache", action="store_true",
                     help="serve unchanged cases from the result cache "
                          "(off by default: bench is the regression gate)")
     be.set_defaults(func=cmd_bench)
+
+    da = sub.add_parser(
+        "dash", parents=[jobs_parent],
+        help="run a workload with streaming telemetry and render per-tier "
+             "utilization/queue-depth timeline dashboards (ASCII + "
+             "optional self-contained HTML export)",
+    )
+    da.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    da.add_argument("--stack", nargs="+", choices=STACK_KINDS,
+                    default=["nfsv3", "iscsi"], metavar="KIND",
+                    help="stack kinds to dash (default: nfsv3 iscsi); "
+                         "more than one adds a merged fleet section")
+    da.add_argument("--html", metavar="FILE",
+                    help="also write a self-contained HTML dashboard")
+    da.add_argument("--width", type=int, default=48,
+                    help="sparkline width in characters (default 48)")
+    da.add_argument("--heartbeat", action="store_true",
+                    help="print in-simulation heartbeat lines to stderr "
+                         "while cells run")
+    da.set_defaults(func=cmd_dash)
 
     li = sub.add_parser(
         "lint",

@@ -48,7 +48,8 @@ class StorageStack:
 
     def __init__(self, kind: str, params: Optional[TestbedParams] = None,
                  trace: bool = False, tracer: Optional[NullTracer] = None,
-                 fault_plan=None, san: bool = False):
+                 fault_plan=None, san: bool = False,
+                 telemetry: bool = False, heartbeat: bool = False):
         if kind not in STACK_KINDS:
             raise ValueError("unknown stack kind %r; one of %s" % (kind, STACK_KINDS))
         self.kind = kind
@@ -102,6 +103,18 @@ class StorageStack:
         if self.tracer.enabled:
             self.client = TracedClient(self.client, self.tracer)
             self._register_probes()
+        # Streaming telemetry (repro.obs.telemetry): bounded-memory
+        # rollups, built only on request.  Every probe is a pure read of
+        # existing accounting state, so a telemetry-on run produces the
+        # same measured outputs as a plain one.
+        self.telemetry = None
+        if telemetry:
+            from ..obs.telemetry import Heartbeat, Telemetry
+            hb = Heartbeat("stack:" + kind) if heartbeat else None
+            self.telemetry = Telemetry(self.sim, heartbeat=hb)
+            self.transport.telem = self.telemetry
+            self._register_telemetry()
+            self.telemetry.start()
         # Fault injection (repro.faults): built only for a non-empty plan,
         # so unfaulted stacks keep the exact pre-existing event sequence.
         self.fault_injector = None
@@ -313,6 +326,103 @@ class StorageStack:
         )
         self.tracer.start_sampling()
 
+    def _register_telemetry(self) -> None:
+        """Register every tier of the testbed on the telemetry collector.
+
+        Unlike the tracer probes above, these never call
+        ``_accumulate()`` or any other mutator: a probe that advanced
+        the busy-time accumulators would change the *order* of float
+        additions, and the reported utilization figures would depend on
+        whether telemetry was enabled.  Each probe recomputes the
+        current value from the raw accounting fields instead.
+        """
+        telem = self.telemetry
+        sim = self.sim
+
+        def busy_probe(tracker: Any, capacity: int):
+            # Works for both UtilizationTracker and ResourceStats: the
+            # busy-time integral extended to `now` without committing it.
+            def probe() -> float:
+                return (tracker.busy_time + tracker._in_service
+                        * (sim.now - tracker._last_change)) / capacity
+            return probe
+
+        def depth_probe(resource: Any):
+            def probe() -> float:
+                return float(resource.queue_length
+                             + (resource.capacity - resource.available))
+            return probe
+
+        def counter_probe(stats: Any, field: str):
+            def probe() -> float:
+                return float(getattr(stats, field))
+            return probe
+
+        client_cpu = self.client_host.cpu
+        server_cpu = self.server_host.cpu
+        telem.add_series("client.cpu.util",
+                         busy_probe(client_cpu.tracker, client_cpu.capacity),
+                         kind="cumulative", tag="util")
+        telem.add_series("server.cpu.util",
+                         busy_probe(server_cpu.tracker, server_cpu.capacity),
+                         kind="cumulative", tag="util")
+        telem.add_series("net.link.MBps",
+                         lambda: float(self.link.total_bytes),
+                         kind="rate", tag="rate", scale=1e-6)
+        telem.add_series("client.inbox.depth",
+                         lambda: float(len(self.transport.client.inbox)),
+                         kind="gauge", tag="queue")
+        telem.add_series("server.inbox.depth",
+                         lambda: float(len(self.transport.server.inbox)),
+                         kind="gauge", tag="queue")
+        for index, disk in enumerate(self.raid.disks):
+            queue = disk.queue
+            telem.add_series("server.disk%02d.queue" % index,
+                             depth_probe(queue), kind="gauge", tag="queue")
+            telem.add_series("server.disk%02d.util" % index,
+                             busy_probe(queue.stats, queue.capacity),
+                             kind="cumulative", tag="util")
+        raid = self.raid
+        telem.add_series(
+            "server.raid.degraded_s",
+            lambda: float(raid.degraded_reads + raid.degraded_writes
+                          + raid.rebuild_writes),
+            kind="cumulative", tag="rate")
+        caller, server_peer = self.rpc_peers()
+        telem.add_series("client.rpc.calls_s",
+                         counter_probe(caller, "calls_issued"),
+                         kind="cumulative", tag="rate")
+        telem.add_series("server.rpc.served_s",
+                         counter_probe(server_peer, "calls_served"),
+                         kind="cumulative", tag="rate")
+        if self.kind == "iscsi":
+            initiator = self.initiator
+            telem.add_series(
+                "client.iscsi.inflight",
+                lambda: float(initiator.commands_issued
+                              - initiator.commands_completed),
+                kind="gauge", tag="queue")
+            telem.add_series("client.cache.hits_s",
+                             counter_probe(self.fs.cache.stats, "hits"),
+                             kind="cumulative", tag="rate")
+            telem.add_series("client.cache.misses_s",
+                             counter_probe(self.fs.cache.stats, "misses"),
+                             kind="cumulative", tag="rate")
+        else:
+            telem.add_series("server.cache.hits_s",
+                             counter_probe(self.fs.cache.stats, "hits"),
+                             kind="cumulative", tag="rate")
+            telem.add_series("server.cache.misses_s",
+                             counter_probe(self.fs.cache.stats, "misses"),
+                             kind="cumulative", tag="rate")
+            pages = self.nfs_client._pages.stats
+            telem.add_series("client.cache.hits_s",
+                             counter_probe(pages, "hits"),
+                             kind="cumulative", tag="rate")
+            telem.add_series("client.cache.misses_s",
+                             counter_probe(pages, "misses"),
+                             kind="cumulative", tag="rate")
+
     # -- lifecycle --------------------------------------------------------------------
 
     def mount(self) -> None:
@@ -402,7 +512,9 @@ class StorageStack:
 
 def make_stack(kind: str, params: Optional[TestbedParams] = None,
                mounted: bool = True, trace: bool = False,
-               fault_plan=None, san: bool = False) -> StorageStack:
+               fault_plan=None, san: bool = False,
+               telemetry: bool = False,
+               heartbeat: bool = False) -> StorageStack:
     """Build (and by default mount) a stack of the given kind.
 
     Pass ``trace=True`` to attach a recording :class:`repro.obs.Tracer`
@@ -413,9 +525,13 @@ def make_stack(kind: str, params: Optional[TestbedParams] = None,
     Pass ``san=True`` to run on a checking kernel with the runtime
     sanitizers attached (``stack.check()`` verifies at end of run); the
     checks observe only, so outputs stay bit-identical.
+    Pass ``telemetry=True`` to attach the streaming telemetry collector
+    (``stack.telemetry``, a :class:`repro.obs.telemetry.Telemetry`); its
+    probes are pure reads, so measured outputs stay bit-identical too.
+    ``heartbeat=True`` additionally prints progress lines to stderr.
     """
     stack = StorageStack(kind, params, trace=trace, fault_plan=fault_plan,
-                         san=san)
+                         san=san, telemetry=telemetry, heartbeat=heartbeat)
     if mounted:
         stack.mount()
     if stack.fault_injector is not None:

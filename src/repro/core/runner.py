@@ -118,18 +118,34 @@ class ExperimentRunner:
     ``jobs``     — worker processes; ``None`` or 1 runs in-process.
     ``cache_dir``— result cache location (:func:`default_cache_dir`).
     ``use_cache``— when False, neither reads nor writes the cache.
+    ``heartbeat``— when True, print cell/cache progress lines to stderr
+                   (a :class:`repro.obs.telemetry.Heartbeat`); status
+                   only, never part of the merged results.
+
+    Cells that carry telemetry attach their snapshot under the reserved
+    result key ``"__telemetry__"``.  :meth:`run` strips those snapshots
+    out of the merged results (so documents like ``BENCH_quick.json``
+    never see them) into :attr:`telemetry_by_cell`, and folds them — in
+    submitted-cell order, associatively — into one aggregated
+    :attr:`telemetry` snapshot.  The fold is pure dict arithmetic on
+    canonicalized snapshots, so ``--jobs 1`` and ``--jobs 8`` aggregate
+    byte-identically.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache_dir: Optional[str] = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 heartbeat: bool = False):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
         self.use_cache = use_cache
+        self.heartbeat = heartbeat
         self.cache_hits = 0
         self.cache_misses = 0
+        self.telemetry: Optional[Dict[str, Any]] = None
+        self.telemetry_by_cell: Dict[str, Any] = {}
 
     # -- cache ----------------------------------------------------------------
 
@@ -185,6 +201,11 @@ class ExperimentRunner:
                 raise ValueError("duplicate cell id %r" % (cell.id,))
             seen.add(cell.id)
 
+        hb = None
+        if self.heartbeat:
+            from ..obs.telemetry import Heartbeat
+            hb = Heartbeat("runner")
+
         resolved: Dict[str, Any] = {}
         pending: List[Cell] = []
         for cell in cells:
@@ -202,6 +223,9 @@ class ExperimentRunner:
                     _cell_id, result = _execute_cell(self._spec(cell))
                     self.cache_put(cell, result)
                     resolved[cell.id] = result
+                    if hb is not None:
+                        hb.progress(len(resolved), len(cells),
+                                    self.cache_hits)
             else:
                 by_id = {cell.id: cell for cell in pending}
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
@@ -214,9 +238,39 @@ class ExperimentRunner:
                             cell_id, result = future.result()
                             self.cache_put(by_id[cell_id], result)
                             resolved[cell_id] = result
+                        if hb is not None:
+                            hb.progress(len(resolved), len(cells),
+                                        self.cache_hits)
+        if hb is not None:
+            hb.progress(len(resolved), len(cells), self.cache_hits,
+                        force=True)
 
         # Deterministic merge: submitted order, never completion order.
-        return {cell.id: resolved[cell.id] for cell in cells}
+        merged = {cell.id: resolved[cell.id] for cell in cells}
+        self._collect_telemetry(cells, merged)
+        return merged
+
+    def _collect_telemetry(self, cells: List[Cell],
+                           merged: Dict[str, Any]) -> None:
+        """Strip ``"__telemetry__"`` snapshots out of results and fold them.
+
+        Per-cell snapshots land in :attr:`telemetry_by_cell`; the
+        aggregate (folded in submitted-cell order) in :attr:`telemetry`.
+        Results without the key are untouched, so runs with telemetry
+        off pay one dict lookup per cell here and nothing else.
+        """
+        self.telemetry_by_cell = {}
+        for cell in cells:
+            result = merged[cell.id]
+            if isinstance(result, dict) and "__telemetry__" in result:
+                self.telemetry_by_cell[cell.id] = result.pop("__telemetry__")
+        if self.telemetry_by_cell:
+            from ..obs.telemetry import merge_snapshots
+            self.telemetry = merge_snapshots(
+                [snapshot for _cell_id, snapshot
+                 in sorted(self.telemetry_by_cell.items())])
+        else:
+            self.telemetry = None
 
     @staticmethod
     def _spec(cell: Cell) -> Tuple[str, str, str]:
@@ -231,16 +285,20 @@ class ExperimentRunner:
 
 
 @cell_kind("quick")
-def _cell_quick(kind: str, san: bool = False) -> Dict[str, Any]:
+def _cell_quick(kind: str, san: bool = False,
+                telemetry: bool = False) -> Dict[str, Any]:
     """The ``repro quick`` smoke row for one stack kind.
 
     ``san=True`` runs the same workload under the runtime sanitizers
     (:mod:`repro.check.simsan`); the result is byte-identical unless a
-    check fires, in which case the cell raises.
+    check fires, in which case the cell raises.  ``telemetry=True``
+    attaches the streaming collector; its snapshot rides along under
+    ``"__telemetry__"`` (stripped by the runner) and the measured fields
+    stay byte-identical.
     """
     from .comparison import make_stack
 
-    stack = make_stack(kind, san=san)
+    stack = make_stack(kind, san=san, telemetry=telemetry)
     client = stack.client
 
     def work():
@@ -255,8 +313,12 @@ def _cell_quick(kind: str, san: bool = False) -> Dict[str, Any]:
     stack.quiesce()
     stack.check()
     delta = stack.delta(snap)
-    return {"messages": delta.messages, "bytes": delta.total_bytes,
-            "now_s": stack.now}
+    result: Dict[str, Any] = {
+        "messages": delta.messages, "bytes": delta.total_bytes,
+        "now_s": stack.now}
+    if stack.telemetry is not None:
+        result["__telemetry__"] = stack.telemetry.snapshot()
+    return result
 
 
 @cell_kind("syscall_table")
@@ -422,17 +484,18 @@ def _cell_metadata_cache(limit: int) -> Dict[str, Dict[str, Any]]:
 
 
 @cell_kind("bench_case")
-def _cell_bench_case(workload: str, stack: str,
-                     san: bool = False) -> Dict[str, Any]:
+def _cell_bench_case(workload: str, stack: str, san: bool = False,
+                     telemetry: bool = False) -> Dict[str, Any]:
     """One traced case of a ``repro bench`` suite."""
     from ..obs.bench import run_case
 
-    return run_case(workload, stack, san=san)
+    return run_case(workload, stack, san=san, telemetry=telemetry)
 
 
 @cell_kind("faults_scenario")
 def _cell_faults_scenario(kind: str, workload: str, plan: Any,
-                          seed: int = 0, san: bool = False) -> Dict[str, Any]:
+                          seed: int = 0, san: bool = False,
+                          telemetry: bool = False) -> Dict[str, Any]:
     """One (stack, workload, fault plan) degraded-mode scenario.
 
     ``plan`` is a preset name or an inline JSON spec (cells must be pure
@@ -449,7 +512,8 @@ def _cell_faults_scenario(kind: str, workload: str, plan: Any,
     from .comparison import make_stack
 
     fault_plan = resolve_plan(plan, seed=seed)
-    stack = make_stack(kind, fault_plan=fault_plan, san=san)
+    stack = make_stack(kind, fault_plan=fault_plan, san=san,
+                       telemetry=telemetry)
     snap = stack.snapshot()
     start = stack.now
     stack.run(WORKLOADS[workload](stack.client), name=workload)
@@ -484,4 +548,36 @@ def _cell_faults_scenario(kind: str, workload: str, plan: Any,
             {"code": finding.code, "message": finding.message}
             for finding in stack.check(strict=False)
         ]
+    if stack.telemetry is not None:
+        result["__telemetry__"] = stack.telemetry.snapshot()
     return result
+
+
+@cell_kind("telemetry_run")
+def _cell_telemetry_run(kind: str, workload: str,
+                        heartbeat: bool = False) -> Dict[str, Any]:
+    """One telemetry-first run for ``repro dash``: workload + snapshot.
+
+    The snapshot rides under ``"__telemetry__"`` like everywhere else,
+    so the runner's aggregation and the per-cell dashboards both work.
+    ``heartbeat=True`` prints in-simulation progress lines to stderr
+    while the cell runs.
+    """
+    from ..obs.bench import WORKLOADS
+    from .comparison import make_stack
+
+    if workload not in WORKLOADS:
+        raise ValueError("unknown workload %r; one of %s"
+                         % (workload, sorted(WORKLOADS)))
+    stack = make_stack(kind, telemetry=True, heartbeat=heartbeat)
+    start = stack.now
+    stack.run(WORKLOADS[workload](stack.client), name=workload)
+    elapsed = stack.now - start
+    stack.quiesce()
+    return {
+        "stack": kind,
+        "workload": workload,
+        "completion_time_s": round(elapsed, 9),
+        "total_time_s": round(stack.now, 9),
+        "__telemetry__": stack.telemetry.snapshot(),
+    }

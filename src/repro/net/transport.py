@@ -62,6 +62,10 @@ class DuplexTransport:
         # hooks are bare counter increments, so a sanitized run's event
         # sequence is identical to an unsanitized one.
         self.san = None
+        # Optional Telemetry (repro.obs.telemetry): push-counter hooks
+        # only record into rollups (no events), guarded with
+        # `if telem is not None:` (simlint O302).
+        self.telem = None
         self.link = link
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.counters = counters if counters is not None else MessageCounters()
@@ -127,5 +131,9 @@ class DuplexTransport:
                         destination.inbox.put, message, delay + extra)
         if san is not None:
             san.note_scheduled(message)
+        telem = self.telem
+        if telem is not None:
+            # Progress signal for the zero-progress-stall watcher (T503).
+            telem.count("net.delivered", 1.0)
         # Flat calendar record: no per-message closure allocation.
         self.sim._schedule_call1(destination.inbox.put, message, delay)

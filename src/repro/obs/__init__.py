@@ -19,11 +19,18 @@ This package is the simulated equivalent of all three:
   behind the paper's Tables 5/9/10);
 * :mod:`~repro.obs.bench` runs named workload suites on both stacks and
   emits/compares schema-versioned ``BENCH_*.json`` documents — the
-  ``repro bench`` regression gate.
+  ``repro bench`` regression gate;
+* :mod:`~repro.obs.telemetry` is the *scale-out* counterpart of the
+  tracer: opt-in, bounded-memory streaming rollups of every tier
+  (utilization, queue depth, rates), invariant watchers over the
+  stream, run heartbeats on stderr, and associative cross-worker
+  merging — rendered by :mod:`~repro.obs.dashboard` as ASCII timeline
+  dashboards or a self-contained HTML export (``repro dash``).
 
 Build a traced stack with ``make_stack(kind, trace=True)`` and read
 ``stack.tracer`` after the run, or use the ``repro trace`` /
-``repro bench`` CLIs.
+``repro bench`` CLIs; ``make_stack(kind, telemetry=True)`` attaches the
+streaming collector as ``stack.telemetry``.
 """
 
 from .bench import (
@@ -31,10 +38,20 @@ from .bench import (
     WORKLOADS,
     compare,
     format_compare,
+    format_compare_json,
     load_bench,
     run_case,
     run_suite,
     write_bench,
+)
+from .dashboard import render_dashboard, render_html, write_html
+from .telemetry import (
+    Heartbeat,
+    SeriesRollup,
+    Telemetry,
+    TelemetryFinding,
+    merge_rollups,
+    merge_snapshots,
 )
 from .export import (
     chrome_trace,
@@ -101,4 +118,14 @@ __all__ = [
     "load_bench",
     "compare",
     "format_compare",
+    "format_compare_json",
+    "Telemetry",
+    "TelemetryFinding",
+    "SeriesRollup",
+    "Heartbeat",
+    "merge_rollups",
+    "merge_snapshots",
+    "render_dashboard",
+    "render_html",
+    "write_html",
 ]

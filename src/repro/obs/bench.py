@@ -39,6 +39,7 @@ __all__ = [
     "load_bench",
     "compare",
     "format_compare",
+    "format_compare_json",
 ]
 
 SCHEMA_VERSION = 1
@@ -168,7 +169,8 @@ SUITES: Dict[str, Tuple[Tuple[str, Tuple[str, ...]], ...]] = {
 # -- running ------------------------------------------------------------------
 
 
-def run_case(workload: str, kind: str, san: bool = False) -> Dict[str, Any]:
+def run_case(workload: str, kind: str, san: bool = False,
+             telemetry: bool = False) -> Dict[str, Any]:
     """Run one traced workload on one stack; return its JSON-ready record.
 
     ``completion_time_s`` is the application's elapsed time;
@@ -179,12 +181,17 @@ def run_case(workload: str, kind: str, san: bool = False) -> Dict[str, Any]:
     With ``san=True`` the run carries the runtime sanitizers
     (:mod:`repro.check.simsan`) and fails loudly on any finding; the
     record itself is byte-identical to an unsanitized run.
+
+    With ``telemetry=True`` the streaming collector rides along and its
+    snapshot is attached under ``"__telemetry__"`` — the runner strips
+    that key before results reach a suite document, and every other
+    field stays byte-identical (telemetry probes are pure reads).
     """
     # Imported lazily: repro.obs must stay importable while
     # repro.core.comparison (which imports repro.obs) initializes.
     from ..core.comparison import make_stack
 
-    stack = make_stack(kind, trace=True, san=san)
+    stack = make_stack(kind, trace=True, san=san, telemetry=telemetry)
     snap = stack.snapshot()
     start = stack.now
     stack.run(WORKLOADS[workload](stack.client), name=workload)
@@ -222,7 +229,7 @@ def run_case(workload: str, kind: str, san: bool = False) -> Dict[str, Any]:
         resource.name: resource.stats.as_dict()
         for resource in stack.resources()
     }
-    return {
+    record = {
         "workload": workload,
         "stack": kind,
         "completion_time_s": round(elapsed, 9),
@@ -235,14 +242,18 @@ def run_case(workload: str, kind: str, san: bool = False) -> Dict[str, Any]:
         "critical_path": critical_path,
         "resources": resources,
     }
+    if stack.telemetry is not None:
+        record["__telemetry__"] = stack.telemetry.snapshot()
+    return record
 
 
-def suite_cells(suite: str, san: bool = False):
+def suite_cells(suite: str, san: bool = False, telemetry: bool = False):
     """The suite as a list of runner cells (one per workload x stack).
 
-    Cell ids stay ``workload/kind`` either way, so a sanitized suite
-    document is keyed identically to an unsanitized one; the ``san``
-    param only enters the cell params (and thus the cache key).
+    Cell ids stay ``workload/kind`` either way, so a sanitized (or
+    telemetry-carrying) suite document is keyed identically to a plain
+    one; ``san``/``telemetry`` only enter the cell params (and thus the
+    cache key).
     """
     from ..core.runner import Cell
 
@@ -255,13 +266,15 @@ def suite_cells(suite: str, san: bool = False):
             params = {"workload": workload, "stack": kind}
             if san:
                 params["san"] = True
+            if telemetry:
+                params["telemetry"] = True
             cells.append(Cell("%s/%s" % (workload, kind), "bench_case",
                               params))
     return cells
 
 
 def run_suite(suite: str, runner: Optional[Any] = None,
-              san: bool = False) -> Dict[str, Any]:
+              san: bool = False, telemetry: bool = False) -> Dict[str, Any]:
     """Run every case of the named suite; return the versioned document.
 
     ``runner`` is an optional
@@ -276,7 +289,7 @@ def run_suite(suite: str, runner: Optional[Any] = None,
 
     if runner is None:
         runner = ExperimentRunner(jobs=None, use_cache=False)
-    cases = runner.run(suite_cells(suite, san=san))
+    cases = runner.run(suite_cells(suite, san=san, telemetry=telemetry))
     return {"schema": SCHEMA_VERSION, "suite": suite, "cases": cases}
 
 
@@ -354,3 +367,18 @@ def format_compare(regressions: List[Dict[str, Any]],
     if not regressions:
         lines.append("ok: no regressions beyond tolerance")
     return "\n".join(lines)
+
+
+def format_compare_json(regressions: List[Dict[str, Any]],
+                        notes: List[str]) -> str:
+    """Machine-readable comparison verdict (one stable JSON document).
+
+    The structure CI annotations consume: the same regression entries
+    :func:`compare` produced, the notes verbatim, and an ``ok`` flag
+    mirroring the exit code (``not regressions``).  Keys are sorted and
+    the output ends in a newline, so equal inputs give equal bytes.
+    """
+    return json.dumps(
+        {"ok": not regressions, "regressions": regressions, "notes": notes},
+        indent=2, sort_keys=True,
+    ) + "\n"

@@ -1,0 +1,269 @@
+"""Render telemetry snapshots: ASCII timeline dashboards and HTML export.
+
+Both renderers consume the JSON snapshot form produced by
+:meth:`repro.obs.telemetry.Telemetry.snapshot` (or the merged document
+from :func:`repro.obs.telemetry.merge_snapshots`), never live objects —
+so a dashboard of a fan-out run renders from exactly the bytes the
+workers shipped, and identical snapshots produce identical output bytes.
+
+The ASCII form is a per-series sparkline timeline (oldest window on the
+left) with run-wide summary columns, grouped by tag so utilization,
+queue-depth, rate, and progress series read as blocks.  The HTML form is
+a single self-contained file (inline SVG, inline CSS, no external
+assets) suitable for a CI artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["render_dashboard", "render_html", "write_html", "sparkline"]
+
+# Ten intensity levels, dimmest to brightest.  Pure ASCII on purpose:
+# dashboards must survive CI logs, ttys without UTF-8, and `cmp`.
+_LEVELS = " .:-=+*#%@"
+
+# Render order for tag groups (anything else sorts after, alphabetically).
+_TAG_ORDER = ("util", "queue", "rate", "progress", "gauge")
+
+_TAG_TITLES = {
+    "util": "utilization (busy fraction per window)",
+    "queue": "queue depth (max waiters per window)",
+    "rate": "rates (per-second, window mean)",
+    "progress": "progress counters (events per window)",
+    "gauge": "gauges (window mean)",
+}
+
+
+def _series_points(entry: Dict[str, Any]) -> List[Optional[float]]:
+    """The plottable per-window values for one series.
+
+    Utilization and gauges plot the window mean; queues plot the window
+    *max* (a queue that spikes and drains within a window should still
+    show the spike); progress counters plot the per-window event count.
+    """
+    rollup = entry["rollup"]
+    tag = entry["tag"]
+    if tag == "queue":
+        return list(rollup["maxs"])
+    if tag == "progress":
+        return [float(c) if c else None for c in rollup["counts"]]
+    return [rollup["sums"][i] / rollup["counts"][i]
+            if rollup["counts"][i] else None
+            for i in range(len(rollup["counts"]))]
+
+
+def sparkline(points: List[Optional[float]], width: int,
+              lo: float, hi: float) -> str:
+    """Map ``points`` onto ``width`` ASCII intensity cells.
+
+    Values scale linearly from ``lo`` to ``hi``; ``None`` (no samples in
+    that window) renders as a space.  When there are more points than
+    cells, each cell shows the max of its span (peaks survive the
+    squeeze); fewer points than cells render one cell each, left-packed.
+    """
+    if not points:
+        return " " * width
+    cells: List[str] = []
+    n = len(points)
+    span = hi - lo
+    steps = min(width, n)
+    for c in range(steps):
+        start = c * n // steps
+        end = max(start + 1, (c + 1) * n // steps)
+        chunk = [p for p in points[start:end] if p is not None]
+        if not chunk:
+            cells.append(" ")
+            continue
+        value = max(chunk)
+        if span <= 0:
+            level = len(_LEVELS) - 1 if value > 0 else 1
+        else:
+            level = int((value - lo) / span * (len(_LEVELS) - 1) + 0.5)
+        cells.append(_LEVELS[max(0, min(level, len(_LEVELS) - 1))])
+    return "".join(cells).ljust(width)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return "%.3g" % value
+    return "%.3f" % value
+
+
+def _group_series(snapshot: Dict[str, Any]) -> List[Tuple[str, List[str]]]:
+    """Series names grouped by tag, in stable render order."""
+    by_tag: Dict[str, List[str]] = {}
+    for name in sorted(snapshot.get("series", {})):
+        tag = snapshot["series"][name]["tag"]
+        by_tag.setdefault(tag, []).append(name)
+    ordered = [t for t in _TAG_ORDER if t in by_tag]
+    ordered += sorted(t for t in by_tag if t not in _TAG_ORDER)
+    return [(tag, by_tag[tag]) for tag in ordered]
+
+
+def render_dashboard(snapshot: Dict[str, Any], title: str = "telemetry",
+                     width: int = 48) -> str:
+    """Render one snapshot as an ASCII timeline dashboard (a string).
+
+    Deterministic: equal snapshots yield equal bytes (series sort by id,
+    groups render in fixed tag order), which is what the merge-
+    determinism tests and the CI byte-identity checks compare.
+    """
+    lines: List[str] = []
+    series = snapshot.get("series", {})
+    name_width = max([len(n) for n in series] + [8])
+    rule = "=" * (name_width + width + 30)
+    lines.append(rule)
+    lines.append("dash: %s  (%d series, %d samples)"
+                 % (title, len(series), snapshot.get("samples", 0)))
+    lines.append(rule)
+    for tag, names in _group_series(snapshot):
+        lines.append("")
+        lines.append("-- %s" % _TAG_TITLES.get(tag, tag))
+        # One scale per group so series within a block are comparable.
+        group_points = {name: _series_points(series[name]) for name in names}
+        values = [p for pts in group_points.values()
+                  for p in pts if p is not None]
+        lo = 0.0
+        hi = 1.0 if tag == "util" else (max(values) if values else 1.0)
+        for name in names:
+            rollup = series[name]["rollup"]
+            spark = sparkline(group_points[name], width, lo, hi)
+            suffix = ""
+            if rollup.get("dropped_windows"):
+                suffix = "  (+%d win dropped)" % rollup["dropped_windows"]
+            mean = (rollup["total"] / rollup["count"]
+                    if rollup["count"] else None)
+            lines.append("%-*s |%s| mean=%s max=%s%s"
+                         % (name_width, name, spark, _fmt(mean),
+                            _fmt(rollup["max"]), suffix))
+        lines.append("   scale: %s -> %s ('%s' lowest, '%s' highest)"
+                     % (_fmt(lo), _fmt(hi), _LEVELS[1], _LEVELS[-1]))
+    findings = snapshot.get("findings", [])
+    lines.append("")
+    if findings:
+        lines.append("-- watcher findings")
+        for code, series_id, message in findings:
+            lines.append("  %s %s: %s" % (code, series_id, message))
+    else:
+        lines.append("-- watcher findings: none")
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+# -- HTML export --------------------------------------------------------------
+
+_HTML_HEAD = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>%(title)s</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #101418; color: #d8dee4; margin: 2em; }
+h1 { font-size: 1.2em; border-bottom: 1px solid #2c333b; }
+h2 { font-size: 1.0em; color: #9fb3c8; margin-top: 1.6em; }
+h3 { font-size: 0.85em; color: #7d8b99; margin: 1em 0 0.2em; }
+table { border-collapse: collapse; }
+td { padding: 0.1em 0.8em 0.1em 0; font-size: 0.8em;
+     vertical-align: middle; white-space: nowrap; }
+svg { background: #161c22; border: 1px solid #2c333b; }
+.findings li { color: #e8b339; font-size: 0.85em; }
+.ok { color: #56b374; font-size: 0.85em; }
+.meta { color: #7d8b99; font-size: 0.75em; }
+</style>
+</head>
+<body>
+<h1>%(title)s</h1>
+<p class="meta">streaming telemetry dashboard &mdash; self-contained
+export (no external assets)</p>
+"""
+
+_HTML_FOOT = "</body>\n</html>\n"
+
+_SVG_W = 360
+_SVG_H = 36
+
+
+def _svg_timeline(points: List[Optional[float]], lo: float,
+                  hi: float) -> str:
+    """One series as an inline SVG bar timeline."""
+    n = max(len(points), 1)
+    bar_w = _SVG_W / n
+    span = hi - lo
+    bars: List[str] = []
+    for i, p in enumerate(points):
+        if p is None:
+            continue
+        frac = 1.0 if span <= 0 and p > 0 else (
+            0.0 if span <= 0 else (p - lo) / span)
+        frac = max(0.0, min(frac, 1.0))
+        h = max(1.0, frac * (_SVG_H - 2))
+        bars.append('<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" '
+                    'fill="#4f9cf9"/>'
+                    % (i * bar_w, _SVG_H - 1 - h, max(bar_w - 0.5, 0.5), h))
+    return ('<svg width="%d" height="%d" viewBox="0 0 %d %d">%s</svg>'
+            % (_SVG_W, _SVG_H, _SVG_W, _SVG_H, "".join(bars)))
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_html(sections: List[Tuple[str, Dict[str, Any]]],
+                title: str = "repro telemetry") -> str:
+    """Render snapshots as one self-contained HTML document.
+
+    ``sections`` is a list of ``(heading, snapshot)`` pairs — one per
+    stack plus optionally a merged section.  Output bytes are a pure
+    function of the input, like the ASCII form.
+    """
+    parts = [_HTML_HEAD % {"title": _escape(title)}]
+    for heading, snapshot in sections:
+        parts.append("<h2>%s <span class=\"meta\">(%d samples)</span></h2>\n"
+                     % (_escape(heading), snapshot.get("samples", 0)))
+        series = snapshot.get("series", {})
+        for tag, names in _group_series(snapshot):
+            parts.append("<h3>%s</h3>\n"
+                         % _escape(_TAG_TITLES.get(tag, tag)))
+            group_points = {n: _series_points(series[n]) for n in names}
+            values = [p for pts in group_points.values()
+                      for p in pts if p is not None]
+            lo = 0.0
+            hi = 1.0 if tag == "util" else (max(values) if values else 1.0)
+            parts.append("<table>\n")
+            for name in names:
+                rollup = series[name]["rollup"]
+                mean = (rollup["total"] / rollup["count"]
+                        if rollup["count"] else None)
+                parts.append(
+                    "<tr><td>%s</td><td>%s</td>"
+                    "<td>mean=%s</td><td>max=%s</td></tr>\n"
+                    % (_escape(name),
+                       _svg_timeline(group_points[name], lo, hi),
+                       _fmt(mean), _fmt(rollup["max"])))
+            parts.append("</table>\n")
+        findings = snapshot.get("findings", [])
+        if findings:
+            parts.append("<ul class=\"findings\">\n")
+            for code, series_id, message in findings:
+                parts.append("<li>%s %s: %s</li>\n"
+                             % (_escape(code), _escape(series_id),
+                                _escape(message)))
+            parts.append("</ul>\n")
+        else:
+            parts.append("<p class=\"ok\">watcher findings: none</p>\n")
+    parts.append(_HTML_FOOT)
+    return "".join(parts)
+
+
+def write_html(path: str, sections: List[Tuple[str, Dict[str, Any]]],
+               title: str = "repro telemetry") -> None:
+    """Write :func:`render_html` output to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_html(sections, title=title))

@@ -215,6 +215,11 @@ class Tracer(NullTracer):
         self.tid_names: Dict[int, str] = {0: "main"}
         self._probes: List[Tuple[str, Callable[[], float], str, str, float]] = []
         self._sampler = None
+        # Rate baselines live on the instance (not the sample loop) so a
+        # probe registered after sampling starts joins the next tick with
+        # a correct delta instead of being dropped or mis-read.
+        self._last: Dict[str, float] = {}
+        self._interval: Optional[float] = None
 
     # -- spans ---------------------------------------------------------------
 
@@ -314,22 +319,40 @@ class Tracer(NullTracer):
         produce negative samples — utilization from busy-time counters),
         or ``"rate"`` (like cumulative but without the 0..1 meaning, e.g.
         link bytes/s).  ``scale`` multiplies the recorded value.
+
+        Probes may be registered before *or after* :meth:`start_sampling`:
+        a late probe is picked up on the next tick (its rate baseline is
+        seeded now), and if ``start_sampling`` ran before any probe
+        existed the sampler starts here.
         """
         if kind not in ("gauge", "cumulative", "rate"):
             raise ValueError("unknown probe kind %r" % (kind,))
         self._probes.append((name, fn, kind, track, scale))
+        if kind != "gauge":
+            self._last[name] = fn()
+        if self._sampler is None and self._interval is not None:
+            self._sampler = self.sim.spawn(
+                self._sample_loop(self._interval), name="tracer.sampler")
 
     def start_sampling(self, interval: float = 0.01) -> None:
-        """Spawn the background sampler (idempotent)."""
-        if self._sampler is not None or not self._probes:
+        """Start sampling at ``interval`` (idempotent).
+
+        With no probes registered yet the request is remembered: the
+        sampler spawns as soon as the first probe arrives (historically
+        such probes were silently never sampled).
+        """
+        if self._sampler is not None:
+            return
+        self._interval = interval
+        if not self._probes:
             return
         self._sampler = self.sim.spawn(
             self._sample_loop(interval), name="tracer.sampler")
 
     def _sample_loop(self, interval: float) -> Generator:
-        last: Dict[str, float] = {}
+        last = self._last
         for name, fn, kind, _track, _scale in self._probes:
-            if kind != "gauge":
+            if kind != "gauge" and name not in last:
                 last[name] = fn()
         last_t = self.sim.now
         while True:
@@ -340,7 +363,7 @@ class Tracer(NullTracer):
             for name, fn, kind, track, scale in self._probes:
                 value = fn()
                 if kind != "gauge":
-                    previous = last[name]
+                    previous = last.get(name, value)
                     last[name] = value
                     if dt <= 0:
                         continue

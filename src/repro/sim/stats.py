@@ -75,6 +75,47 @@ class LatencyHistogram:
         """Observations that fell above the top bucket edge."""
         return self.counts[-1]
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (associative, commutative).
+
+        Fixed buckets make the merge exact: bucket counts add, totals
+        add, and the exact min/max combine — the property the streaming
+        telemetry layer relies on to aggregate rollups across
+        process-pool workers.
+        """
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min,
+                                                              other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max,
+                                                              other.max)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (sparse buckets: ``{index: count}``)."""
+        return {
+            "buckets": {str(i): c for i, c in enumerate(self.counts) if c},
+            "count": self.count,
+            "total": round(self.total, 9),
+            "min": None if self.min is None else round(self.min, 9),
+            "max": None if self.max is None else round(self.max, 9),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`as_dict` output."""
+        hist = cls()
+        for index, count in data.get("buckets", {}).items():
+            hist.counts[int(index)] = count
+        hist.count = data.get("count", 0)
+        hist.total = data.get("total", 0.0)
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        return hist
+
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observations (0.0 when empty)."""

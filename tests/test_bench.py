@@ -151,6 +151,47 @@ def test_compare_notes_improvements():
 
 # ------------------------------------------------------------------------- CLI
 
+def test_format_compare_json_shapes():
+    doc = _fake_suite()
+    regressions, notes = bench.compare(doc, copy.deepcopy(doc))
+    clean = json.loads(bench.format_compare_json(regressions, notes))
+    assert clean == {"ok": True, "regressions": [], "notes": []}
+
+    new = copy.deepcopy(doc)
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 9.9
+    regressions, notes = bench.compare(doc, new)
+    bad = json.loads(bench.format_compare_json(regressions, notes))
+    assert bad["ok"] is False
+    assert bad["regressions"] == regressions
+    # Stable bytes: sorted keys, trailing newline.
+    text = bench.format_compare_json(regressions, notes)
+    assert text.endswith("\n")
+    assert text == json.dumps(json.loads(text), indent=2,
+                              sort_keys=True) + "\n"
+
+
+def test_cli_bench_compare_json_format(tmp_path, capsys):
+    old = _fake_suite()
+    new = copy.deepcopy(old)
+    old_path = tmp_path / "old.json"
+    new_path = tmp_path / "new.json"
+    bench.write_bench(old, str(old_path))
+    bench.write_bench(new, str(new_path))
+    assert cli.main(["bench", "--compare", str(old_path), str(new_path),
+                     "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+
+    # The exit-code contract is unchanged by the output format.
+    new["cases"]["smoke/nfsv3"]["completion_time_s"] = 9.9
+    bench.write_bench(new, str(new_path))
+    assert cli.main(["bench", "--compare", str(old_path), str(new_path),
+                     "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert doc["regressions"]
+
+
 def test_cli_bench_compare_exit_codes(tmp_path, capsys):
     old = _fake_suite()
     new = copy.deepcopy(old)

@@ -162,12 +162,38 @@ def test_o301_negative_guarded_and_end_span():
     assert codes("tracer.end_span(span)\n") == []
 
 
+def test_o302_flags_unguarded_telemetry_hook():
+    assert codes("self.telem.count('net.delivered')\n") == ["O302"]
+    assert codes("telem.observe('queue.depth', 4.0)\n") == ["O302"]
+    assert codes("self.telemetry.count('ops', 2.0)\n") == ["O302"]
+
+
+def test_o302_negative_guarded():
+    src = ("telem = self.telem\n"
+           "if telem is not None:\n"
+           "    telem.count('net.delivered')\n")
+    assert codes(src) == []
+    # Plain truthiness on a telem-ish name is also an accepted guard.
+    src = ("if self.telemetry:\n"
+           "    self.telemetry.observe('q', 1.0)\n")
+    assert codes(src) == []
+    # `count`/`observe` on non-telemetry receivers are not our hooks.
+    assert codes("stats.count('x')\n") == []
+    assert codes("n = items.count(3)\n") == []
+
+
+def test_o302_suppressed():
+    src = "self.telem.count('x')  # simlint: disable=O302\n"
+    assert codes(src) == []
+
+
 # ------------------------------------------------------------ simlint: misc
 
 
 def test_rule_catalog_and_hints():
     assert set(simlint.RULES) == {
-        "D101", "D102", "D103", "D104", "P201", "P202", "P203", "O301",
+        "D101", "D102", "D103", "D104", "P201", "P202", "P203",
+        "O301", "O302",
     }
     violations = lint_source("import time\nt = time.time()\n")
     assert len(violations) == 1

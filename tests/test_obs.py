@@ -203,6 +203,50 @@ def test_probe_sampling_records_counter_samples():
     assert samples[-1].value > samples[0].value
 
 
+def test_probe_added_after_start_sampling_is_sampled():
+    # Regression: probes registered after start_sampling() used to be
+    # silently dropped (the sampler only saw the snapshot at start).
+    sim = Simulator()
+    tracer = Tracer(sim)
+    ticks = {"n": 0.0}
+    tracer.start_sampling(interval=1.0)
+    tracer.add_probe("late.gauge", lambda: ticks["n"], kind="gauge")
+    tracer.add_probe("late.rate", lambda: ticks["n"], kind="rate")
+
+    def work():
+        for _ in range(5):
+            ticks["n"] += 1.0
+            yield sim.timeout(1.0)
+
+    sim.run_process(work())
+    gauge = [s for s in tracer.samples if s.name == "late.gauge"]
+    rate = [s for s in tracer.samples if s.name == "late.rate"]
+    assert len(gauge) >= 4, "late-registered probe was never sampled"
+    assert gauge[-1].value > gauge[0].value
+    # The rate probe's baseline was seeded at registration, so the first
+    # sample reflects only growth since then (~1 tick/s), not a spike.
+    assert rate and max(s.value for s in rate) <= 2.0
+
+
+def test_start_sampling_before_any_probe_still_samples():
+    # start_sampling() with zero probes must remember the request and
+    # begin sampling once the first probe arrives.
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.start_sampling(interval=0.5)
+    assert tracer._sampler is None  # nothing to sample yet
+    ticks = {"n": 0.0}
+    tracer.add_probe("g", lambda: ticks["n"], kind="gauge")
+
+    def work():
+        for _ in range(4):
+            ticks["n"] += 1.0
+            yield sim.timeout(0.5)
+
+    sim.run_process(work())
+    assert [s for s in tracer.samples if s.name == "g"]
+
+
 # ------------------------------------------------------- stack-level tracing
 
 def _age(stack, seconds):
