@@ -76,6 +76,9 @@ _RULE_LIST = (
          "guard tracer calls with `if tracer.enabled:` (NULL_TRACER pattern)"),
     Rule("O302", "unguarded-telemetry-hook",
          "guard telemetry pushes with `if telem is not None:` (opt-in layer)"),
+    Rule("O303", "unguarded-recorder-hook",
+         "guard flight-recorder hooks with `if recorder is not None:` "
+         "(opt-in layer)"),
 )
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
@@ -137,6 +140,11 @@ _TRACER_HOOKS = frozenset({"begin_span", "instant", "message", "sample"})
 # the disabled layer is the attribute being None, so every push must sit
 # under an `if telem is not None:` (or truthiness) check.
 _TELEM_HOOKS = frozenset({"count", "observe"})
+
+# O303: flight-recorder hooks (repro.obs.explain.FlightRecorder).  Same
+# opt-in contract as telemetry: the disabled layer is the attribute being
+# None, so every hook must sit under an `if recorder is not None:` check.
+_RECORDER_HOOKS = frozenset({"note_event", "note_message", "dump"})
 
 _DISABLE_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+)")
@@ -226,6 +234,28 @@ def _mentions_telem(test: ast.expr) -> bool:
         if isinstance(sub, ast.Attribute) and "telem" in sub.attr.lower():
             return True
         if isinstance(sub, ast.Name) and "telem" in sub.id.lower():
+            return True
+    return False
+
+
+def _receiver_is_recorder(func: ast.Attribute) -> bool:
+    """True for ``<...>recorder.<hook>()`` shaped receivers."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        name = value.attr
+    elif isinstance(value, ast.Name):
+        name = value.id
+    else:
+        return False
+    return "recorder" in name.lower()
+
+
+def _mentions_recorder(test: ast.expr) -> bool:
+    """True when an ``if`` test inspects a recorder-ish name."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and "recorder" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Name) and "recorder" in sub.id.lower():
             return True
     return False
 
@@ -384,6 +414,22 @@ class _Linter(ast.NodeVisitor):
                     node, "O302",
                     "telemetry %s() outside an `if telem is not None:` "
                     "guard" % node.func.attr)
+
+        # O303: flight-recorder hooks outside the `is not None` guard.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RECORDER_HOOKS
+                and _receiver_is_recorder(node.func)):
+            guarded = False
+            for ancestor in self._ancestors(node):
+                if (isinstance(ancestor, ast.If)
+                        and _mentions_recorder(ancestor.test)):
+                    guarded = True
+                    break
+            if not guarded:
+                self._report(
+                    node, "O303",
+                    "flight-recorder %s() outside an `if recorder is "
+                    "not None:` guard" % node.func.attr)
 
         self.generic_visit(node)
 

@@ -129,6 +129,7 @@ class CheckedSimulator(Simulator):
         calendar = self._calendar
         pop = heappop
         check = self._check_order
+        recorder = self.recorder
         if until is None:
             while calendar:
                 record = pop(calendar)
@@ -136,6 +137,8 @@ class CheckedSimulator(Simulator):
                 when = record[0]
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -158,6 +161,8 @@ class CheckedSimulator(Simulator):
                 check(record)
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -181,6 +186,7 @@ class CheckedSimulator(Simulator):
         calendar = self._calendar
         pop = heappop
         check = self._check_order
+        recorder = self.recorder
         if until is None:
             while calendar and not proc.triggered:
                 record = pop(calendar)
@@ -188,6 +194,8 @@ class CheckedSimulator(Simulator):
                 when = record[0]
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -210,6 +218,8 @@ class CheckedSimulator(Simulator):
                 check(record)
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -466,8 +476,17 @@ class SimSan:
         return out
 
     def verify(self, strict: bool = True) -> List[Finding]:
-        """Run every check; raise :class:`SanitizerError` when strict."""
+        """Run every check; raise :class:`SanitizerError` when strict.
+
+        When the stack carries a flight recorder, every finding dumps
+        the recorder's context window first, so S-code findings ship
+        with the recent-event evidence attached (recorder.dumps).
+        """
         found = self.findings()
+        recorder = getattr(self.stack, "recorder", None)
+        if recorder is not None:
+            for finding in found:
+                recorder.dump(finding.code, "simsan", finding.message)
         if found and strict:
             raise SanitizerError(found)
         return found

@@ -17,6 +17,8 @@ Usage::
     python -m repro bench [--suite quick] [--out FILE] [--jobs N]
     python -m repro bench --compare OLD.json NEW.json [--format text|json]
     python -m repro dash <workload> [--stack KIND ...] [--html FILE]
+    python -m repro explain <workload> [--stack-a KIND] [--stack-b KIND]
+    python -m repro explain <workload> --bench-a OLD.json --bench-b NEW.json
     python -m repro lint [paths ...] [--format text|json]
 
 Each artifact subcommand runs the corresponding experiment at a tractable
@@ -48,6 +50,14 @@ bench, and faults carries the same collector alongside the normal run —
 rollups and watcher findings are summarized on stderr while stdout and
 ``BENCH_*.json`` stay byte-identical.  ``repro all`` additionally
 prints run heartbeats (cells done, cache hits, wall rate) to stderr.
+
+``explain`` is the differential-diagnosis front end
+(repro.obs.explain): it runs one workload on two stacks — or loads the
+same case from two ``BENCH_*.json`` files — and reports where the
+completion-time delta comes from (per-layer attribution summing exactly
+to the total, per-op message drift, queueing deltas, ranked blame) as
+text, JSON, or self-contained HTML.  ``bench --compare`` appends the
+same report for every regressed case.
 """
 
 from __future__ import annotations
@@ -111,6 +121,7 @@ def cmd_list(_args) -> int:
           "all (every artifact, parallel + cached)")
     print("            dash (streaming-telemetry dashboards)  "
           "lint (simulator-discipline linter)")
+    print("            explain (differential diagnosis of two runs)")
     print("            --san arms the runtime sanitizers; "
           "--telemetry attaches streaming rollups")
     print("commands:   %s" % " ".join(iter_subcommands()))
@@ -733,6 +744,7 @@ def cmd_bench(args) -> int:
             sys.stdout.write(bench.format_compare_json(regressions, notes))
         else:
             print(bench.format_compare(regressions, notes))
+            _print_compare_explain(baseline, current, regressions)
         return 1 if regressions else 0
     runner = ExperimentRunner(jobs=args.jobs, use_cache=args.cache)
     result = bench.run_suite(args.suite, runner=runner, san=args.san,
@@ -750,6 +762,83 @@ def cmd_bench(args) -> int:
     print("\nwrote %s" % out)
     if args.telemetry:
         _telemetry_summary(runner)
+    return 0
+
+
+def _print_compare_explain(baseline: Dict[str, Any], current: Dict[str, Any],
+                           regressions: List[Dict[str, Any]]) -> None:
+    """Append one differential-diagnosis report per regressed case.
+
+    Only cases present in both documents can be diffed (schema or
+    presence regressions have nothing to attribute), and each case is
+    explained once even if several metrics regressed on it.
+    """
+    from .obs.explain import explain_runs, format_explain, side_from_bench
+
+    old_cases = baseline.get("cases", {})
+    new_cases = current.get("cases", {})
+    seen = set()
+    for entry in regressions:
+        case = entry["case"]
+        if case in seen or case not in old_cases or case not in new_cases:
+            continue
+        seen.add(case)
+        report = explain_runs(
+            side_from_bench(old_cases[case], label="baseline:%s" % case),
+            side_from_bench(new_cases[case], label="current:%s" % case))
+        print()
+        print(format_explain(report), end="")
+
+
+# -- explain: the differential-diagnosis front end ------------------------------------
+
+
+def cmd_explain(args) -> int:
+    from .obs import explain as ex
+
+    if bool(args.bench_a) != bool(args.bench_b):
+        print("explain: --bench-a and --bench-b must be given together",
+              file=sys.stderr)
+        return 2
+    if args.bench_a:
+        # Offline mode: diff one case out of two recorded bench documents.
+        import os
+
+        from .obs import bench
+
+        sides = []
+        for path, stack in ((args.bench_a, args.stack_a),
+                            (args.bench_b, args.stack_b)):
+            doc = bench.load_bench(path)
+            case = "%s/%s" % (args.workload, stack)
+            record = doc.get("cases", {}).get(case)
+            if record is None:
+                print("explain: case %r not in %s (cases: %s)"
+                      % (case, path,
+                         ", ".join(sorted(doc.get("cases", {}))) or "none"),
+                      file=sys.stderr)
+                return 2
+            sides.append(ex.side_from_bench(
+                record, label="%s:%s" % (os.path.basename(path), case)))
+        report = ex.explain_runs(sides[0], sides[1], top=args.top)
+    else:
+        # Live mode: one runner cell runs both sides and diffs them.
+        cell = _cell("explain_pair", workload=args.workload,
+                     stack_a=args.stack_a, stack_b=args.stack_b,
+                     telemetry=bool(args.telemetry), top=args.top)
+        report = _runner(args).run([cell])[cell.id]
+    if args.format == "json":
+        text = ex.format_explain_json(report)
+    elif args.format == "html":
+        text = ex.render_explain_html(report)
+    else:
+        text = ex.format_explain(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.out)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -979,6 +1068,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print in-simulation heartbeat lines to stderr "
                          "while cells run")
     da.set_defaults(func=cmd_dash)
+
+    exp = sub.add_parser(
+        "explain", parents=[jobs_parent, telem_parent],
+        help="differential diagnosis: run one workload on two stacks (or "
+             "load one case from two BENCH_*.json files) and explain the "
+             "completion-time delta — layer attribution, message drift, "
+             "queueing deltas, ranked blame",
+    )
+    exp.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    exp.add_argument("--stack-a", choices=STACK_KINDS, default="nfsv3",
+                     metavar="KIND",
+                     help="side-A stack kind (default nfsv3)")
+    exp.add_argument("--stack-b", choices=STACK_KINDS, default="iscsi",
+                     metavar="KIND",
+                     help="side-B stack kind (default iscsi)")
+    exp.add_argument("--bench-a", metavar="FILE",
+                     help="read side A from a recorded BENCH_*.json "
+                          "instead of running (case <workload>/<stack-a>; "
+                          "requires --bench-b)")
+    exp.add_argument("--bench-b", metavar="FILE",
+                     help="read side B from a recorded BENCH_*.json "
+                          "(case <workload>/<stack-b>; requires --bench-a)")
+    exp.add_argument("--top", type=int, default=8,
+                     help="blame-list length (default 8)")
+    exp.add_argument("--format", choices=["text", "json", "html"],
+                     default="text",
+                     help="report format (default text; json is stable and "
+                          "byte-identical across reruns)")
+    exp.add_argument("--out", metavar="FILE",
+                     help="write the report to FILE instead of stdout")
+    exp.set_defaults(func=cmd_explain)
 
     li = sub.add_parser(
         "lint",

@@ -49,7 +49,8 @@ class StorageStack:
     def __init__(self, kind: str, params: Optional[TestbedParams] = None,
                  trace: bool = False, tracer: Optional[NullTracer] = None,
                  fault_plan=None, san: bool = False,
-                 telemetry: bool = False, heartbeat: bool = False):
+                 telemetry: bool = False, heartbeat: bool = False,
+                 recorder: bool = False):
         if kind not in STACK_KINDS:
             raise ValueError("unknown stack kind %r; one of %s" % (kind, STACK_KINDS))
         self.kind = kind
@@ -115,6 +116,19 @@ class StorageStack:
             self.transport.telem = self.telemetry
             self._register_telemetry()
             self.telemetry.start()
+        # Flight recorder (repro.obs.explain): a bounded ring of recent
+        # kernel events and wire messages, built only on request.  It
+        # observes and never schedules, so recorder-on runs keep the
+        # exact same event sequence; simsan/telemetry findings dump its
+        # context window as evidence.
+        self.recorder = None
+        if recorder:
+            from ..obs.explain import FlightRecorder
+            self.recorder = FlightRecorder(self.sim)
+            self.sim.recorder = self.recorder
+            self.transport.recorder = self.recorder
+            if self.telemetry is not None:
+                self.telemetry.recorder = self.recorder
         # Fault injection (repro.faults): built only for a non-empty plan,
         # so unfaulted stacks keep the exact pre-existing event sequence.
         self.fault_injector = None
@@ -514,7 +528,8 @@ def make_stack(kind: str, params: Optional[TestbedParams] = None,
                mounted: bool = True, trace: bool = False,
                fault_plan=None, san: bool = False,
                telemetry: bool = False,
-               heartbeat: bool = False) -> StorageStack:
+               heartbeat: bool = False,
+               recorder: bool = False) -> StorageStack:
     """Build (and by default mount) a stack of the given kind.
 
     Pass ``trace=True`` to attach a recording :class:`repro.obs.Tracer`
@@ -529,9 +544,14 @@ def make_stack(kind: str, params: Optional[TestbedParams] = None,
     (``stack.telemetry``, a :class:`repro.obs.telemetry.Telemetry`); its
     probes are pure reads, so measured outputs stay bit-identical too.
     ``heartbeat=True`` additionally prints progress lines to stderr.
+    Pass ``recorder=True`` to attach a
+    :class:`repro.obs.explain.FlightRecorder` (``stack.recorder``): a
+    bounded ring of recent kernel events and messages that sanitizer and
+    telemetry findings dump as evidence; also observe-only.
     """
     stack = StorageStack(kind, params, trace=trace, fault_plan=fault_plan,
-                         san=san, telemetry=telemetry, heartbeat=heartbeat)
+                         san=san, telemetry=telemetry, heartbeat=heartbeat,
+                         recorder=recorder)
     if mounted:
         stack.mount()
     if stack.fault_injector is not None:

@@ -581,3 +581,22 @@ def _cell_telemetry_run(kind: str, workload: str,
         "total_time_s": round(stack.now, 9),
         "__telemetry__": stack.telemetry.snapshot(),
     }
+
+
+@cell_kind("explain_pair")
+def _cell_explain_pair(workload: str, stack_a: str, stack_b: str,
+                       telemetry: bool = False,
+                       top: int = 8) -> Dict[str, Any]:
+    """One differential-diagnosis report for a workload on two stacks.
+
+    Runs the workload traced on ``stack_a`` and ``stack_b`` and returns
+    :func:`repro.obs.explain.explain_runs`'s report — deterministic and
+    JSON-round-trippable, so the result is cacheable and byte-identical
+    across ``--jobs``.  ``telemetry=True`` carries the streaming
+    collector on both sides and adds the series-delta section.
+    """
+    from ..obs.explain import explain_runs, run_side
+
+    side_a = run_side(workload, stack_a, telemetry=telemetry)
+    side_b = run_side(workload, stack_b, telemetry=telemetry)
+    return explain_runs(side_a, side_b, top=top)

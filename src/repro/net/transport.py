@@ -66,6 +66,10 @@ class DuplexTransport:
         # only record into rollups (no events), guarded with
         # `if telem is not None:` (simlint O302).
         self.telem = None
+        # Optional FlightRecorder (repro.obs.explain): the send hooks
+        # append into its bounded message ring, guarded with
+        # `if recorder is not None:` (simlint O303).
+        self.recorder = None
         self.link = link
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.counters = counters if counters is not None else MessageCounters()
@@ -82,6 +86,9 @@ class DuplexTransport:
         self._count(message)
         if self.tracer.enabled:
             self.tracer.message("c2s", message)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.note_message("c2s", message)
         self._deliver(message, self.link.forward, self.server)
 
     def send_from_server(self, message: Message) -> None:
@@ -89,6 +96,9 @@ class DuplexTransport:
         self._count(message)
         if self.tracer.enabled:
             self.tracer.message("s2c", message)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.note_message("s2c", message)
         self._deliver(message, self.link.backward, self.client)
 
     # -- internals ------------------------------------------------------------

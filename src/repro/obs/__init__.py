@@ -27,10 +27,22 @@ This package is the simulated equivalent of all three:
   merging — rendered by :mod:`~repro.obs.dashboard` as ASCII timeline
   dashboards or a self-contained HTML export (``repro dash``).
 
+* :mod:`~repro.obs.explain` is the *differential* layer: it diffs two
+  runs (stack vs stack, baseline vs candidate bench JSON, faulted vs
+  clean) into a deterministic report — per-layer time deltas that sum
+  exactly to the completion-time delta, per-op message drift, queueing
+  and telemetry deltas, and a ranked plain-English blame list
+  (``repro explain``).  It also hosts the
+  :class:`~repro.obs.explain.FlightRecorder`, a bounded ring of recent
+  kernel events/messages dumped as evidence when sanitizer or telemetry
+  findings fire.
+
 Build a traced stack with ``make_stack(kind, trace=True)`` and read
 ``stack.tracer`` after the run, or use the ``repro trace`` /
 ``repro bench`` CLIs; ``make_stack(kind, telemetry=True)`` attaches the
-streaming collector as ``stack.telemetry``.
+streaming collector as ``stack.telemetry`` and
+``make_stack(kind, recorder=True)`` the flight recorder as
+``stack.recorder``.
 """
 
 from .bench import (
@@ -45,6 +57,18 @@ from .bench import (
     write_bench,
 )
 from .dashboard import render_dashboard, render_html, write_html
+from .explain import (
+    FlightRecorder,
+    explain_runs,
+    format_explain,
+    format_explain_json,
+    op_drift,
+    render_explain_html,
+    render_timeline_diff,
+    run_side,
+    side_from_bench,
+    write_explain_html,
+)
 from .telemetry import (
     Heartbeat,
     SeriesRollup,
@@ -53,13 +77,14 @@ from .telemetry import (
     merge_rollups,
     merge_snapshots,
 )
+# render_timeline_diff is re-exported from .explain above (its new
+# home); repro.obs.export keeps a deprecated wrapper of the same name.
 from .export import (
     chrome_trace,
     format_op_summary,
     op_summary,
     packet_trace_lines,
     render_span_tree,
-    render_timeline_diff,
     write_chrome_trace,
     write_packet_trace,
 )
@@ -119,6 +144,15 @@ __all__ = [
     "compare",
     "format_compare",
     "format_compare_json",
+    "FlightRecorder",
+    "op_drift",
+    "run_side",
+    "side_from_bench",
+    "explain_runs",
+    "format_explain",
+    "format_explain_json",
+    "render_explain_html",
+    "write_explain_html",
     "Telemetry",
     "TelemetryFinding",
     "SeriesRollup",

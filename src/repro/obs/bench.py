@@ -33,10 +33,12 @@ __all__ = [
     "WORKLOADS",
     "SUITES",
     "run_case",
+    "run_case_stack",
     "run_suite",
     "suite_cells",
     "write_bench",
     "load_bench",
+    "relative_change",
     "compare",
     "format_compare",
     "format_compare_json",
@@ -187,6 +189,19 @@ def run_case(workload: str, kind: str, san: bool = False,
     that key before results reach a suite document, and every other
     field stays byte-identical (telemetry probes are pure reads).
     """
+    record, _stack = run_case_stack(workload, kind, san=san,
+                                    telemetry=telemetry)
+    return record
+
+
+def run_case_stack(workload: str, kind: str, san: bool = False,
+                   telemetry: bool = False) -> Tuple[Dict[str, Any], Any]:
+    """:func:`run_case`, also returning the finished (traced) stack.
+
+    The diff engine (:mod:`repro.obs.explain`) needs both: the JSON
+    record for the headline figures and the live tracer for per-op
+    message drift.  The record is the one :func:`run_case` would return.
+    """
     # Imported lazily: repro.obs must stay importable while
     # repro.core.comparison (which imports repro.obs) initializes.
     from ..core.comparison import make_stack
@@ -244,7 +259,7 @@ def run_case(workload: str, kind: str, san: bool = False,
     }
     if stack.telemetry is not None:
         record["__telemetry__"] = stack.telemetry.snapshot()
-    return record
+    return record, stack
 
 
 def suite_cells(suite: str, san: bool = False, telemetry: bool = False):
@@ -309,6 +324,19 @@ def load_bench(path: str) -> Dict[str, Any]:
 # -- comparison ---------------------------------------------------------------
 
 
+def relative_change(old: Any, new: Any) -> Any:
+    """``(new - old) / old`` with defined values on a zero baseline.
+
+    Returns 0.0 when both values are zero and the string ``"new"`` when
+    the baseline is zero but the current value is not — the comparison
+    and diff engines must never divide by zero.  (A vanished quantity,
+    ``old > 0, new == 0``, is plain ``-1.0``.)
+    """
+    if old == 0:
+        return 0.0 if new == 0 else "new"
+    return (new - old) / old
+
+
 def compare(baseline: Dict[str, Any], current: Dict[str, Any],
             tolerance: float = 0.15,
             ) -> Tuple[List[Dict[str, Any]], List[str]]:
@@ -340,12 +368,15 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
         if new["messages"] != old["messages"]:
             regressions.append({"case": case, "metric": "messages",
                                 "baseline": old["messages"],
-                                "current": new["messages"]})
+                                "current": new["messages"],
+                                "relative": relative_change(
+                                    old["messages"], new["messages"])})
         t_old = old["completion_time_s"]
         t_new = new["completion_time_s"]
         if t_new > t_old * (1.0 + tolerance) + 1e-12:
             regressions.append({"case": case, "metric": "completion_time_s",
-                                "baseline": t_old, "current": t_new})
+                                "baseline": t_old, "current": t_new,
+                                "relative": relative_change(t_old, t_new)})
         elif t_old > 0 and t_new < t_old * (1.0 - tolerance):
             notes.append("%s: completion time improved %.3fs -> %.3fs"
                          % (case, t_old, t_new))

@@ -13,11 +13,11 @@ Three output formats, matching the three observation tools of the paper:
   https://ui.perfetto.dev to browse spans, messages, and utilization
   counters on a zoomable timeline.
 
-Plus two textual renderers used by the CLI and the examples:
-:func:`render_span_tree` (causal tree of one or more root spans) and
-:func:`render_timeline_diff` (the side-by-side protocol timeline of the
-same workload replayed on two stacks — Figure 2's methodology as a
-debugging tool).
+Plus a textual renderer used by the CLI and the examples:
+:func:`render_span_tree` (causal tree of one or more root spans).  The
+side-by-side :func:`render_timeline_diff` moved to
+:mod:`repro.obs.explain` with the rest of the diff tooling; the name
+here survives as a deprecated wrapper.
 """
 
 from __future__ import annotations
@@ -264,34 +264,18 @@ def render_span_tree(tracer: Tracer, roots: Optional[Sequence[Span]] = None,
 def render_timeline_diff(tracer_a: Tracer, label_a: str,
                          tracer_b: Tracer, label_b: str,
                          limit: int = 0) -> str:
-    """Interleave two packet traces side by side, ordered by time.
+    """Deprecated alias of :func:`repro.obs.explain.render_timeline_diff`.
 
-    The two stacks replay the same workload on independent simulators, so
-    the traces share a t=0; each line lands in the left or right column by
-    origin.  ``limit`` truncates to the first N messages per side
-    (0 = everything).
+    The side-by-side timeline now lives with the rest of the diff
+    tooling in :mod:`repro.obs.explain` (one diff entry point); this
+    wrapper delegates verbatim and will be removed in a future release.
     """
-    def rows(tracer: Tracer, side: int):
-        msgs = tracer.messages[:limit] if limit else tracer.messages
-        for msg in msgs:
-            arrow = "->" if msg.direction == "c2s" else "<-"
-            text = "%s %s %s %dB" % (
-                arrow, msg.op, "req" if msg.kind == "request" else "rep",
-                msg.size)
-            if msg.retransmission:
-                text += " REXMIT"
-            yield (msg.t, side, text)
+    import warnings
 
-    merged = sorted(
-        list(rows(tracer_a, 0)) + list(rows(tracer_b, 1)),
-        key=lambda row: (row[0], row[1]))
-    width = max(
-        [len(label_a) + 2] +
-        [len(text) for _t, side, text in merged if side == 0]) + 2
-    lines = ["%12s  %s%s" % ("t (ms)", label_a.ljust(width), label_b),
-             "-" * (14 + width + len(label_b))]
-    for t, side, text in merged:
-        left = text if side == 0 else ""
-        right = text if side == 1 else ""
-        lines.append("%12.3f  %s%s" % (t * 1e3, left.ljust(width), right))
-    return "\n".join(lines)
+    warnings.warn(
+        "repro.obs.export.render_timeline_diff moved to "
+        "repro.obs.explain.render_timeline_diff; import it from there",
+        DeprecationWarning, stacklevel=2)
+    from .explain import render_timeline_diff as impl
+
+    return impl(tracer_a, label_a, tracer_b, label_b, limit=limit)

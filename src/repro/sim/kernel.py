@@ -324,7 +324,7 @@ class Simulator:
     """The event calendar, virtual clock, and process spawner."""
 
     __slots__ = ("now", "_calendar", "_sequence", "_unhandled",
-                 "_active_process")
+                 "_active_process", "recorder")
 
     def __init__(self):
         self.now: float = 0.0
@@ -332,6 +332,11 @@ class Simulator:
         self._sequence = 0
         self._unhandled: List[Event] = []
         self._active_process: Optional["Process"] = None
+        # Opt-in flight recorder (repro.obs.explain.FlightRecorder); the
+        # run loops note every popped record when one is attached.  The
+        # recorder observes and never schedules, so attaching one leaves
+        # the event sequence unchanged.
+        self.recorder: Optional[Any] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -408,12 +413,15 @@ class Simulator:
         """Run until the calendar empties or the clock reaches ``until``."""
         calendar = self._calendar
         pop = heappop
+        recorder = self.recorder
         if until is None:
             while calendar:
                 record = pop(calendar)
                 when = record[0]
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -435,6 +443,8 @@ class Simulator:
                 record = pop(calendar)
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -469,12 +479,15 @@ class Simulator:
         proc = self.spawn(generator, name=name)
         calendar = self._calendar
         pop = heappop
+        recorder = self.recorder
         if until is None:
             while calendar and not proc.triggered:
                 record = pop(calendar)
                 when = record[0]
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:
@@ -496,6 +509,8 @@ class Simulator:
                 record = pop(calendar)
                 if when > self.now:
                     self.now = when
+                if recorder is not None:
+                    recorder.note_event(record)
                 kind = record[2]
                 target = record[3]
                 if kind == 0:

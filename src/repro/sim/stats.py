@@ -128,15 +128,19 @@ class LatencyHistogram:
 
         The raw bucket answer (upper edge; exact max for the overflow
         bucket) is clamped into the observed ``[min, max]`` range.
-        Returns 0.0 for an empty histogram.
+        Returns 0.0 for an empty histogram.  A partially restored
+        histogram (bucket counts without min/max, e.g. a trimmed
+        :meth:`from_dict` document) answers from bucket edges alone
+        instead of claiming 0.0 — the diff engines rely on percentiles
+        staying defined for every count > 0.
         """
-        if not self.count or self.min is None or self.max is None:
+        if not self.count:
             return 0.0
         if fraction <= 0.0:
-            return self.min
+            return self.min if self.min is not None else self._bucket_floor()
         target = fraction * self.count
         seen = 0
-        result = self.max
+        result = None
         for index, count in enumerate(self.counts):
             seen += count
             if seen >= target and count:
@@ -145,7 +149,18 @@ class LatencyHistogram:
                 else:
                     result = self.max
                 break
-        return min(max(result, self.min), self.max)
+        if result is None:
+            result = self.max if self.max is not None else self.EDGES[-1]
+        if self.min is not None and self.max is not None:
+            return min(max(result, self.min), self.max)
+        return result
+
+    def _bucket_floor(self) -> float:
+        """Lower edge of the first populated bucket (min/max unknown)."""
+        for index, count in enumerate(self.counts):
+            if count:
+                return self.EDGES[index - 1] if index else 0.0
+        return 0.0
 
 
 class ResourceStats:

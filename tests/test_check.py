@@ -187,13 +187,38 @@ def test_o302_suppressed():
     assert codes(src) == []
 
 
+def test_o303_flags_unguarded_recorder_hook():
+    assert codes("self.recorder.note_event(record)\n") == ["O303"]
+    assert codes("recorder.note_message('c2s', msg)\n") == ["O303"]
+    assert codes("self.recorder.dump('T501', 'telemetry', 'msg')\n") \
+        == ["O303"]
+
+
+def test_o303_negative_guarded_and_foreign_receivers():
+    src = ("recorder = self.recorder\n"
+           "if recorder is not None:\n"
+           "    recorder.note_event(record)\n")
+    assert codes(src) == []
+    # Plain truthiness on a recorder-ish name is also an accepted guard.
+    src = ("if self.recorder:\n"
+           "    self.recorder.note_message('s2c', msg)\n")
+    assert codes(src) == []
+    # `dump` on non-recorder receivers (json etc.) is not our hook.
+    assert codes("import json\njson.dump(doc, handle)\n") == []
+
+
+def test_o303_suppressed():
+    src = "self.recorder.dump('S403', 'simsan', 'x')  # simlint: disable=O303\n"
+    assert codes(src) == []
+
+
 # ------------------------------------------------------------ simlint: misc
 
 
 def test_rule_catalog_and_hints():
     assert set(simlint.RULES) == {
         "D101", "D102", "D103", "D104", "P201", "P202", "P203",
-        "O301", "O302",
+        "O301", "O302", "O303",
     }
     violations = lint_source("import time\nt = time.time()\n")
     assert len(violations) == 1
