@@ -25,6 +25,12 @@ Checks and finding codes
   still outstanding; or a reply arrived for a call never issued.
 * **S406 iSCSI task-set conservation** — SCSI commands issued by the
   initiator that never completed.
+* **S407 cross-shard causality** — in a sharded run
+  (:mod:`repro.sim.shard`), a routed message arrived less than the
+  lookahead after it was sent, or below the synchronization window's
+  floor.  Checked by :class:`~repro.sim.shard.ShardedSimulator` at
+  routing time when built with ``san=True``; per-shard S403 order
+  verification rides on one :class:`CheckedSimulator` per shard.
 
 Enable with ``StorageStack(..., san=True)`` / ``make_stack(...,
 san=True)`` or ``--san`` on the workload-running CLI subcommands; then
@@ -179,6 +185,38 @@ class CheckedSimulator(Simulator):
                 if until > self.now:
                     self.now = until
         self._raise_unhandled()
+
+    def run_window(self, horizon: float) -> int:
+        calendar = self._calendar
+        pop = heappop
+        check = self._check_order
+        recorder = self.recorder
+        count = 0
+        while calendar:
+            when = calendar[0][0]
+            if when >= horizon:
+                break
+            record = pop(calendar)
+            check(record)
+            count += 1
+            if when > self.now:
+                self.now = when
+            if recorder is not None:
+                recorder.note_event(record)
+            kind = record[2]
+            target = record[3]
+            if kind == 0:
+                target._process()
+            elif kind == 1:
+                target(record[4])
+            elif kind == 2:
+                target._resume(record[4], None)
+            elif kind == 3:
+                target._resume(None, record[4])
+            else:
+                target()
+        self._raise_unhandled()
+        return count
 
     def run_process(self, generator, name: str = "",
                     until: Optional[float] = None) -> Any:

@@ -11,7 +11,8 @@ Usage::
     python -m repro fig6 [--mb 4]
     python -m repro fig7
     python -m repro sec7
-    python -m repro quick [--san] [--telemetry]
+    python -m repro quick [--san] [--telemetry] [--shards 1]
+    python -m repro scale [--clients 256] [--shards 1 4] [--reference]
     python -m repro faults <workload> [--stack KIND ...] [--plan P ...]
     python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
     python -m repro bench [--suite quick] [--out FILE] [--jobs N]
@@ -50,6 +51,16 @@ bench, and faults carries the same collector alongside the normal run —
 rollups and watcher findings are summarized on stderr while stdout and
 ``BENCH_*.json`` stay byte-identical.  ``repro all`` additionally
 prints run heartbeats (cells done, cache hits, wall rate) to stderr.
+
+``scale`` exercises the sharded event calendar (repro.sim.shard): it
+sweeps shard counts over a fixed multi-client storm, certifies every
+timed run against a pure sequential cell (stdout prints only the
+partition-invariant metrics, so ``--shards 1`` output is byte-identical
+to ``--reference``), and writes wall-clock speedup plus the
+machine-independent synchronization stats to ``BENCH_scale.json``.
+``--shards 1`` on quick/table2/table3/table4 rebuilds each stack on a
+one-shard calendar placement — output must stay byte-identical to the
+flat kernel.
 
 ``explain`` is the differential-diagnosis front end
 (repro.obs.explain): it runs one workload on two stacks — or loads the
@@ -122,6 +133,7 @@ def cmd_list(_args) -> int:
     print("            dash (streaming-telemetry dashboards)  "
           "lint (simulator-discipline linter)")
     print("            explain (differential diagnosis of two runs)")
+    print("            scale (shard-count sweep -> BENCH_scale.json)")
     print("            --san arms the runtime sanitizers; "
           "--telemetry attaches streaming rollups")
     print("commands:   %s" % " ".join(iter_subcommands()))
@@ -143,7 +155,8 @@ FIG6_RTTS = (0.010, 0.030, 0.050, 0.070, 0.090)
 TRACE_LIMIT = 150_000
 
 
-def cells_quick(san: bool = False, telemetry: bool = False) -> List[Cell]:
+def cells_quick(san: bool = False, telemetry: bool = False,
+                shards: int = 0) -> List[Cell]:
     cells = []
     for kind in STACK_KINDS:
         params: Dict[str, Any] = {"kind": kind}
@@ -151,24 +164,38 @@ def cells_quick(san: bool = False, telemetry: bool = False) -> List[Cell]:
             params["san"] = True
         if telemetry:
             params["telemetry"] = True
+        if shards:
+            # Conditional, like san/telemetry: the default cell ids (and
+            # the cache keys behind BENCH_quick.json) stay unchanged.
+            params["shards"] = shards
         cells.append(_cell("quick", **params))
     return cells
 
 
-def render_quick(results, san: bool = False, telemetry: bool = False) -> None:
-    for cell in cells_quick(san, telemetry):
+def render_quick(results, san: bool = False, telemetry: bool = False,
+                 shards: int = 0) -> None:
+    for cell in cells_quick(san, telemetry, shards):
         record = results[cell.id]
         print("%-14s msgs=%-5d bytes=%-8d t=%.2fms" % (
             cell.params["kind"], record["messages"], record["bytes"],
             record["now_s"] * 1000))
 
 
-def cells_syscalls(depths: Tuple[int, ...], warm: bool) -> List[Cell]:
-    return [_cell("syscall_table", kind=kind, depth=depth, warm=warm)
-            for depth in depths for kind in SYSCALL_KINDS]
+def cells_syscalls(depths: Tuple[int, ...], warm: bool,
+                   shards: int = 0) -> List[Cell]:
+    cells = []
+    for depth in depths:
+        for kind in SYSCALL_KINDS:
+            params: Dict[str, Any] = {"kind": kind, "depth": depth,
+                                      "warm": warm}
+            if shards:
+                params["shards"] = shards
+            cells.append(_cell("syscall_table", **params))
+    return cells
 
 
-def render_syscalls(results, depths: Tuple[int, ...], warm: bool) -> None:
+def render_syscalls(results, depths: Tuple[int, ...], warm: bool,
+                    shards: int = 0) -> None:
     from .workloads import SYSCALL_OPS
 
     for depth in depths:
@@ -177,23 +204,31 @@ def render_syscalls(results, depths: Tuple[int, ...], warm: bool) -> None:
         for op in SYSCALL_OPS:
             row = [op]
             for kind in SYSCALL_KINDS:
-                cell = _cell("syscall_table", kind=kind, depth=depth,
-                             warm=warm)
+                params: Dict[str, Any] = {"kind": kind, "depth": depth,
+                                          "warm": warm}
+                if shards:
+                    params["shards"] = shards
+                cell = _cell("syscall_table", **params)
                 row.append(results[cell.id][op])
             rows.append(row)
         _print_table(["syscall", "v2", "v3", "v4", "iscsi"], rows)
 
 
-def cells_table4(mb: int = 16) -> List[Cell]:
+def cells_table4(mb: int = 16, shards: int = 0) -> List[Cell]:
     # One cell per stack covering all four modes: the workload's shuffle
     # RNG is shared across the modes, so they must run in one process.
-    return [_cell("seqrand_table", kind=kind, mb=mb)
-            for kind in ("nfsv3", "iscsi")]
+    cells = []
+    for kind in ("nfsv3", "iscsi"):
+        params: Dict[str, Any] = {"kind": kind, "mb": mb}
+        if shards:
+            params["shards"] = shards
+        cells.append(_cell("seqrand_table", **params))
+    return cells
 
 
-def render_table4(results, mb: int = 16) -> None:
+def render_table4(results, mb: int = 16, shards: int = 0) -> None:
     rows = []
-    for cell in cells_table4(mb):
+    for cell in cells_table4(mb, shards):
         by_mode = results[cell.id]
         for mode in TABLE4_MODES:
             record = by_mode[mode]
@@ -454,8 +489,10 @@ def _telemetry_summary(runner: ExperimentRunner) -> None:
 def cmd_quick(args) -> int:
     san = getattr(args, "san", False)
     telemetry = getattr(args, "telemetry", False)
+    shards = getattr(args, "shards", 0)
     runner = _runner(args)
-    render_quick(runner.run(cells_quick(san, telemetry)), san, telemetry)
+    render_quick(runner.run(cells_quick(san, telemetry, shards)),
+                 san, telemetry, shards)
     if san:
         # stderr, so the table on stdout stays bit-identical to a
         # non-sanitized run (the sanitizer contract).
@@ -468,13 +505,16 @@ def cmd_quick(args) -> int:
 
 def cmd_table2(args) -> int:
     depths = tuple(args.depth)
-    results = _runner(args).run(cells_syscalls(depths, args.warm))
-    render_syscalls(results, depths, args.warm)
+    shards = getattr(args, "shards", 0)
+    results = _runner(args).run(cells_syscalls(depths, args.warm, shards))
+    render_syscalls(results, depths, args.warm, shards)
     return 0
 
 
 def cmd_table4(args) -> int:
-    render_table4(_runner(args).run(cells_table4(args.mb)), args.mb)
+    shards = getattr(args, "shards", 0)
+    render_table4(_runner(args).run(cells_table4(args.mb, shards)),
+                  args.mb, shards)
     return 0
 
 
@@ -534,6 +574,120 @@ def cmd_fig7(args) -> int:
 
 def cmd_sec7(args) -> int:
     render_sec7(_runner(args).run(cells_sec7()))
+    return 0
+
+
+# -- scale: the shard-sweep speedup harness ------------------------------------------
+
+
+def cmd_scale(args) -> int:
+    """Sweep shard counts over one multi-client storm; write BENCH_scale.json.
+
+    stdout carries only the partition-invariant storm metrics
+    (completed/records/makespan), certified by one pure ``scale_point``
+    runner cell, so CI can ``cmp`` a ``--shards 1`` run against the
+    ``--reference`` run (the flat, unsharded kernel) — that is the
+    byte-identity contract.  The timed sweep reports to stderr and
+    ``--out`` only, because wall-clock speedup depends on the host's
+    core count; ``ideal_speedup`` and ``cross_fraction`` in the JSON
+    are the machine-independent numbers.
+    """
+    import os
+    import time
+
+    from .sim.perf import run_shard_storm
+    from .sim.shard import default_parallel_executor
+
+    if args.clients % args.groups:
+        print("scale: --clients must be a multiple of --groups",
+              file=sys.stderr)
+        return 2
+    clients_per_group = args.clients // args.groups
+    shard_counts = [1] if args.reference else list(args.shards)
+
+    # The certified point: a pure runner cell (always sequential — its
+    # metrics are the reference every timed run must reproduce exactly).
+    nshards = 0 if args.reference else shard_counts[0]
+    cell = _cell("scale_point", groups=args.groups,
+                 clients_per_group=clients_per_group,
+                 requests=args.requests, nshards=nshards)
+    record = ExperimentRunner(jobs=None, use_cache=False).run([cell])[cell.id]
+    print("shard storm: clients=%d groups=%d requests_per_client=%d"
+          % (record["clients"], args.groups, args.requests))
+    print("completed=%d records=%d makespan=%r"
+          % (record["completed"], record["records"], record["makespan"]))
+    if args.reference:
+        return 0
+
+    executor = args.executor or default_parallel_executor()
+    points = []
+    for count in shard_counts:
+        best = None
+        report = None
+        for _ in range(args.repeat):
+            start = time.perf_counter()  # simlint: disable=D101
+            result = run_shard_storm(
+                groups=args.groups, clients_per_group=clients_per_group,
+                requests=args.requests, nshards=count,
+                executor=executor, jobs=args.jobs)
+            wall = time.perf_counter() - start  # simlint: disable=D101
+            for key in ("completed", "records", "makespan"):
+                if result[key] != record[key]:
+                    print("scale: shards=%d %s=%r diverged from the "
+                          "certified cell (%r)"
+                          % (count, key, result[key], record[key]),
+                          file=sys.stderr)
+                    return 1
+            if best is None or wall < best:
+                best = wall
+                report = result["report"]
+        points.append({
+            "shards": count,
+            "wall_s": best,
+            "events_per_s": (record["records"] / best) if best else 0.0,
+            "rounds": report["rounds"],
+            "records_by_shard": report["records_by_shard"],
+            "cross_messages": report["cross_messages"],
+            "cross_fraction": report["cross_fraction"],
+            "ideal_speedup": report["ideal_speedup"],
+        })
+    base = next((p["wall_s"] for p in points if p["shards"] == 1),
+                points[0]["wall_s"])
+    for point in points:
+        point["speedup_vs_1"] = (base / point["wall_s"]
+                                 if point["wall_s"] else 1.0)
+        print("scale: shards=%d wall=%.3fs speedup=%.2fx ideal=%.2fx "
+              "cross=%.3f rounds=%d"
+              % (point["shards"], point["wall_s"], point["speedup_vs_1"],
+                 point["ideal_speedup"], point["cross_fraction"],
+                 point["rounds"]), file=sys.stderr)
+
+    document = {
+        "schema": 1,
+        "config": {
+            "clients": args.clients,
+            "groups": args.groups,
+            "clients_per_group": clients_per_group,
+            "requests_per_client": args.requests,
+            "executor": executor,
+            "jobs": args.jobs,
+            "repeat": args.repeat,
+        },
+        "metrics": {
+            "completed": record["completed"],
+            "records": record["records"],
+            "makespan": record["makespan"],
+        },
+        "host": {"cpus": os.cpu_count()},
+        "points": points,
+        "note": "wall_s/speedup_vs_1 depend on host cpus; ideal_speedup "
+                "and cross_fraction are machine-independent",
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("scale: wrote %s (host cpus=%s)" % (args.out, os.cpu_count()),
+          file=sys.stderr)
     return 0
 
 
@@ -923,9 +1077,19 @@ def build_parser() -> argparse.ArgumentParser:
              "(bounded-memory rollups + invariant watchers); summary on "
              "stderr, stdout/JSON output stays byte-identical)")
 
+    # Shared by quick/table2/table3/table4: sharded-calendar placement.
+    shards_parent = argparse.ArgumentParser(add_help=False)
+    shards_parent.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="build each stack on an N-shard placement; N=1 is the "
+             "byte-identity check against the flat kernel (a single "
+             "stack is one shard — multi-shard sweeps live under "
+             "'repro scale'; default: flat)")
+
     sub.add_parser("list").set_defaults(func=cmd_list)
     sub.add_parser(
-        "quick", parents=[jobs_parent, san_parent, telem_parent],
+        "quick", parents=[jobs_parent, san_parent, telem_parent,
+                          shards_parent],
     ).set_defaults(func=cmd_quick)
 
     al = sub.add_parser(
@@ -936,14 +1100,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="recompute every cell, ignoring the result cache")
     al.set_defaults(func=cmd_all)
 
-    t2 = sub.add_parser("table2", parents=[jobs_parent])
+    t2 = sub.add_parser("table2", parents=[jobs_parent, shards_parent])
     t2.add_argument("--depth", type=int, nargs="+", default=[0, 3])
     t2.set_defaults(func=cmd_table2, warm=False)
-    t3 = sub.add_parser("table3", parents=[jobs_parent])
+    t3 = sub.add_parser("table3", parents=[jobs_parent, shards_parent])
     t3.add_argument("--depth", type=int, nargs="+", default=[0])
     t3.set_defaults(func=cmd_table2, warm=True)
 
-    t4 = sub.add_parser("table4", parents=[jobs_parent])
+    t4 = sub.add_parser("table4", parents=[jobs_parent, shards_parent])
     t4.add_argument("--mb", type=int, default=16)
     t4.set_defaults(func=cmd_table4)
 
@@ -988,6 +1152,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("fig7", parents=[jobs_parent]).set_defaults(func=cmd_fig7)
     sub.add_parser("sec7", parents=[jobs_parent]).set_defaults(func=cmd_sec7)
+
+    from .sim.shard import EXECUTORS
+
+    sc = sub.add_parser(
+        "scale",
+        help="sweep shard counts on the multi-client storm; write "
+             "BENCH_scale.json",
+    )
+    sc.add_argument("--clients", type=int, default=256,
+                    help="total storm clients (default 256)")
+    sc.add_argument("--groups", type=int, default=8,
+                    help="hub groups to partition over shards (default 8)")
+    sc.add_argument("--requests", type=int, default=20,
+                    help="requests per client (default 20)")
+    sc.add_argument("--shards", type=int, nargs="+", default=[1, 4],
+                    metavar="N", help="shard counts to sweep (default: 1 4)")
+    sc.add_argument("--executor", choices=EXECUTORS, default=None,
+                    help="shard executor (default: fork on POSIX, "
+                         "else thread)")
+    sc.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="executor workers (default: one per shard, "
+                         "capped at the CPU count)")
+    sc.add_argument("--repeat", type=int, default=3,
+                    help="timed runs per point; best-of wall clock "
+                         "(default 3)")
+    sc.add_argument("--out", default="BENCH_scale.json",
+                    help="result file (default BENCH_scale.json)")
+    sc.add_argument("--reference", action="store_true",
+                    help="run the flat (unsharded) reference kernel, print "
+                         "the invariant metrics, and skip the timed sweep")
+    sc.set_defaults(func=cmd_scale)
 
     fl = sub.add_parser(
         "faults", parents=[jobs_parent, san_parent, telem_parent],

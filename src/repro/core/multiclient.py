@@ -4,23 +4,39 @@ The paper deliberately studies the *unshared* case — one client per data
 store — and notes that NFS's costs (consistency checks, synchronous
 meta-data updates) exist to pay for sharing.  This module builds the
 configuration those costs were designed for: **several client machines
-mounting one NFS export**, each over its own Gigabit link, all served by
-one filesystem on the server.
+mounting NFS exports**, each over its own Gigabit link.
 
 It is the live counterpart to the Section-7 trace simulation: with the
 enhancements enabled, cache-invalidation callbacks and directory-
 delegation recalls actually travel between real protocol endpoints here.
+
+Two axes of scale:
+
+* ``nservers=M`` builds M independent server machines (host + RAID +
+  ext3 + delegation state); client *i* mounts server ``i % M``.  Per-
+  server traffic is visible through :attr:`messages_by_server` and
+  :attr:`callbacks_by_server`.
+* ``shards=K`` partitions the whole testbed over K shards of a
+  :class:`~repro.sim.shard.ShardedSimulator`: server *s* lands on shard
+  ``s % K``, client *i* on shard ``i % K``, and each client-server pair
+  is wired with a :class:`~repro.net.transport.ShardedTransport` — the
+  transport is the shard boundary.  Workloads are then registered as
+  factories (:meth:`SharedNfsTestbed.add_workload`) and driven in
+  phases (:meth:`SharedNfsTestbed.run_phase`); the phase API works
+  identically in the unsharded case, where it spawns everything on the
+  one flat calendar, so the same driver code can be compared across
+  shardings.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from ..client.host import Host
 from ..fs.ext3 import Ext3Fs
 from ..net.link import Link
 from ..net.rpc import RetransmitPolicy, RpcPeer
-from ..net.transport import DuplexTransport
+from ..net.transport import DuplexTransport, ShardedTransport
 from ..nfs.client import NfsClient
 from ..nfs.server import NfsServer, ServerState
 from ..sim import Simulator
@@ -32,14 +48,39 @@ from .params import TestbedParams
 __all__ = ["SharedNfsTestbed"]
 
 
+class _MergedCounters:
+    """Per-client accounting facade over a :class:`ShardedTransport`.
+
+    Keeps ``bed.counters[i].messages`` working in sharded mode, where
+    the two transport halves each count only the direction they send.
+    """
+
+    __slots__ = ("transport",)
+
+    def __init__(self, transport: ShardedTransport):
+        self.transport = transport
+
+    @property
+    def messages(self) -> int:
+        return (self.transport.client_half.counters.requests
+                + self.transport.server_half.counters.requests)
+
+    def snapshot(self):
+        return self.transport.merged_counters()
+
+
 class SharedNfsTestbed:
-    """``nclients`` NFS clients sharing one server and one filesystem."""
+    """``nclients`` NFS clients sharing ``nservers`` servers."""
 
     def __init__(
         self,
         nclients: int = 2,
         kind: str = "nfsv3",
         params: Optional[TestbedParams] = None,
+        nservers: int = 1,
+        shards: int = 1,
+        executor: str = "thread",
+        jobs: Optional[int] = None,
     ):
         if kind == "iscsi":
             raise ValueError(
@@ -48,69 +89,173 @@ class SharedNfsTestbed:
             )
         if nclients < 2:
             raise ValueError("a shared testbed needs at least two clients")
+        if nservers < 1:
+            raise ValueError("nservers must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.kind = kind
+        self.nservers = nservers
+        self.shards = shards
         self.params = StorageStack._specialize_params(
             kind, params if params is not None else TestbedParams()
         )
-        self.sim = Simulator()
+        if shards > 1:
+            if self.params.nfs.transport == "udp":
+                raise ValueError(
+                    "a sharded testbed needs a reliable transport: the lossy "
+                    "UDP mode mutates deliveries in flight, which the "
+                    "conservative window protocol does not model"
+                )
+            if executor == "fork":
+                raise ValueError(
+                    "the sharded testbed reads client/server state in the "
+                    "driving process, so it supports the in-process "
+                    "executors ('sequential', 'thread'); use "
+                    "repro.sim.perf.run_shard_storm for fork-executor runs"
+                )
+            from ..sim.shard import ShardedSimulator
+
+            # Lookahead = the minimum cross-shard link latency.  Every
+            # transport here uses the testbed's one network config, so
+            # that minimum is simply rtt/2; a zero-RTT network is
+            # rejected by ShardedSimulator (no conservative window).
+            self.sharded: Optional[ShardedSimulator] = ShardedSimulator(
+                shards, self.params.network.rtt / 2.0,
+                executor=executor, jobs=jobs)
+            self.sim = None
+        else:
+            self.sharded = None
+            self.sim = Simulator()
+        self.server_hosts: List[Host] = []
+        self.raids: List[Raid5Volume] = []
+        self.filesystems: List[Ext3Fs] = []
+        self.states: List[ServerState] = []
+        for index in range(nservers):
+            self._add_server(index)
+        # Legacy single-server aliases.
+        self.server_host = self.server_hosts[0]
+        self.raid = self.raids[0]
+        self.fs = self.filesystems[0]
+        self.state = self.states[0]
+        self.client_hosts: List[Host] = []
+        self.clients: List[NfsClient] = []
+        self.counters: List[Any] = []
+        self.servers: List[NfsServer] = []
+        self._phases: dict = {}
+        self._phase_seq = 0
+        for index in range(nclients):
+            self._add_client(index)
+        if self.sharded is None:
+            for fs in self.filesystems:
+                self.sim.run_process(fs.mount(), name="mount")
+        else:
+            # Mount through the window machinery so the end-of-phase
+            # barrier leaves every shard at the same instant.
+            for index, fs in enumerate(self.filesystems):
+                self.sharded.add_phase(
+                    "mount", self.server_shard_index(index), fs.mount,
+                    name="mount.s%d" % index)
+            self.sharded.run_phase("mount")
+
+    # -- placement -------------------------------------------------------------
+
+    def client_shard_index(self, index: int) -> int:
+        """Which shard client ``index`` is placed on (round-robin)."""
+        return index % self.shards
+
+    def server_shard_index(self, index: int) -> int:
+        """Which shard server ``index`` is placed on (round-robin)."""
+        return index % self.shards
+
+    def server_of(self, index: int) -> int:
+        """Which server client ``index`` mounts."""
+        return index % self.nservers
+
+    def _client_sim(self, index: int) -> Simulator:
+        if self.sharded is None:
+            return self.sim
+        return self.sharded.shard(self.client_shard_index(index)).sim
+
+    def _server_sim(self, index: int) -> Simulator:
+        if self.sharded is None:
+            return self.sim
+        return self.sharded.shard(self.server_shard_index(index)).sim
+
+    # -- construction ----------------------------------------------------------
+
+    def _add_server(self, index: int) -> None:
         cpu = self.params.cpu
-        self.server_host = Host(self.sim, cpu.server_cpus, "server")
-        self.raid = Raid5Volume(
-            self.sim,
+        sim = self._server_sim(index)
+        suffix = "" if self.nservers == 1 else "%d" % index
+        host = Host(sim, cpu.server_cpus, "server" + suffix)
+        raid = Raid5Volume(
+            sim,
             raid_params=self.params.raid,
             disk_params=self.params.disk,
-            cpu=self.server_host.cpu,
+            cpu=host.cpu,
             parity_cpu_per_byte=cpu.raid_parity_per_byte,
             io_cpu=cpu.disk_io_issue,
-            name="array",
+            name="array" + suffix,
         )
-        self.fs = Ext3Fs(
-            self.sim,
-            self.raid,
+        fs = Ext3Fs(
+            sim,
+            raid,
             cache_bytes=self.params.cache.server_cache_bytes,
             params=self.params.ext3,
-            cpu=self.server_host.cpu,
+            cpu=host.cpu,
             cpu_params=cpu,
             readahead_blocks=8,
             testbed=self.params,
-            name="server-ext3",
+            name="server%s-ext3" % suffix,
         )
-        self.state = ServerState()
-        self.client_hosts: List[Host] = []
-        self.clients: List[NfsClient] = []
-        self.counters: List[MessageCounters] = []
-        self.servers: List[NfsServer] = []
-        for index in range(nclients):
-            self._add_client(index)
-        self.sim.run_process(self.fs.mount(), name="mount")
+        self.server_hosts.append(host)
+        self.raids.append(raid)
+        self.filesystems.append(fs)
+        self.states.append(ServerState())
 
     def _add_client(self, index: int) -> None:
         cpu = self.params.cpu
         nfs = self.params.nfs
-        host = Host(self.sim, cpu.client_cpus, "client%d" % index)
-        link = Link(self.sim, rtt=self.params.network.rtt,
-                    bandwidth=self.params.network.bandwidth)
-        counters = MessageCounters()
-        transport = DuplexTransport(
-            self.sim, link, counters=counters,
-            reliable=nfs.transport != "udp",
-            name="%s.c%d" % (self.kind, index),
-        )
+        server_index = self.server_of(index)
+        server_host = self.server_hosts[server_index]
+        client_sim = self._client_sim(index)
+        host = Host(client_sim, cpu.client_cpus, "client%d" % index)
+        if self.sharded is None:
+            link = Link(self.sim, rtt=self.params.network.rtt,
+                        bandwidth=self.params.network.bandwidth)
+            counters: Any = MessageCounters()
+            transport: Any = DuplexTransport(
+                self.sim, link, counters=counters,
+                reliable=nfs.transport != "udp",
+                name="%s.c%d" % (self.kind, index),
+            )
+            server_sim = self.sim
+        else:
+            transport = ShardedTransport(
+                self.sharded.shard(self.client_shard_index(index)),
+                self.sharded.shard(self.server_shard_index(server_index)),
+                rtt=self.params.network.rtt,
+                bandwidth=self.params.network.bandwidth,
+                name="%s.c%d" % (self.kind, index),
+            )
+            counters = _MergedCounters(transport)
+            server_sim = self._server_sim(server_index)
         server_rpc = RpcPeer(
-            self.sim, transport.server, transport.send_from_server,
-            cpu=self.server_host.cpu,
+            server_sim, transport.server, transport.send_from_server,
+            cpu=server_host.cpu,
             per_message_cpu=(cpu.net_per_message + cpu.rpc_layer
                              + cpu.nfs_server_layer),
             per_byte_cpu=cpu.copy_per_byte,
             name="nfsd.c%d" % index,
         )
-        # All frontends share the filesystem, the delegation/cache state,
-        # and the per-inode write locks.
-        server = NfsServer(self.sim, self.fs, server_rpc, params=nfs,
-                           cpu_params=cpu, state=self.state,
+        # All frontends of one server share its filesystem, its
+        # delegation/cache state, and its per-inode write locks.
+        server = NfsServer(server_sim, self.filesystems[server_index],
+                           server_rpc, params=nfs,
+                           cpu_params=cpu, state=self.states[server_index],
                            name="nfsd.c%d" % index)
         client_rpc = RpcPeer(
-            self.sim, transport.client, transport.send_from_client,
+            client_sim, transport.client, transport.send_from_client,
             cpu=host.cpu,
             per_message_cpu=cpu.net_per_message + cpu.rpc_layer,
             per_byte_cpu=cpu.copy_per_byte,
@@ -123,7 +268,7 @@ class SharedNfsTestbed:
             name="nfs.c%d" % index,
         )
         client = NfsClient(
-            self.sim, client_rpc, params=nfs,
+            client_sim, client_rpc, params=nfs,
             cache_params=self.params.cache, cpu_params=cpu,
             name="nfs-client%d" % index,
             client_id="client%d" % index,
@@ -136,14 +281,78 @@ class SharedNfsTestbed:
     # -- driving -----------------------------------------------------------------
 
     def run(self, coroutine: Generator, name: str = "workload"):
-        """Execute the workload; returns its result record."""
+        """Execute the workload; returns its result record (unsharded only)."""
+        if self.sharded is not None:
+            raise RuntimeError(
+                "a sharded testbed has no single calendar to drive; register "
+                "per-client factories with add_workload() and call run_phase()"
+            )
         return self.sim.run_process(coroutine, name=name)
 
+    def add_workload(self, client_index: int,
+                     factory: Callable[[], Generator],
+                     phase: str = "workload") -> None:
+        """Register a zero-arg workload factory for one client's shard.
+
+        In the unsharded testbed the factories are simply remembered and
+        spawned together by :meth:`run_phase`, so driver code is
+        identical across shardings.
+        """
+        if self.sharded is not None:
+            self.sharded.add_phase(
+                phase, self.client_shard_index(client_index), factory,
+                name="%s.c%d" % (phase, client_index))
+        else:
+            self._phases.setdefault(phase, []).append(
+                (factory, "%s.c%d" % (phase, client_index)))
+
+    def run_phase(self, phase: str = "workload") -> None:
+        """Run every workload registered under ``phase`` to completion."""
+        if self.sharded is not None:
+            self.sharded.run_phase(phase)
+            return
+        procs = [self.sim.spawn(factory(), name=name)
+                 for factory, name in self._phases.pop(phase, ())]
+        if procs:
+            self.sim.run_process(self._await_all(procs), name=phase)
+
+    def _await_all(self, procs) -> Generator:
+        yield self.sim.all_of(procs)
+
     def quiesce(self) -> None:
-        """Settle all asynchronous state on every client and the server."""
-        for client in self.clients:
-            self.run(client.quiesce(), name="quiesce")
-        self.run(self.fs.quiesce(), name="server-quiesce")
+        """Settle all asynchronous state on every client and server."""
+        if self.sharded is None:
+            for client in self.clients:
+                self.run(client.quiesce(), name="quiesce")
+            for fs in self.filesystems:
+                self.run(fs.quiesce(), name="server-quiesce")
+            return
+        self._phase_seq += 1
+        phase = "quiesce%d" % self._phase_seq
+        for index, client in enumerate(self.clients):
+            self.sharded.add_phase(
+                phase, self.client_shard_index(index), client.quiesce,
+                name="%s.c%d" % (phase, index))
+        self.sharded.run_phase(phase)
+        server_phase = "server-" + phase
+        for index, fs in enumerate(self.filesystems):
+            self.sharded.add_phase(
+                server_phase, self.server_shard_index(index), fs.quiesce,
+                name="%s.s%d" % (server_phase, index))
+        self.sharded.run_phase(server_phase)
+
+    def close(self) -> None:
+        """Shut the shard executor down (no-op for the unsharded bed)."""
+        if self.sharded is not None:
+            self.sharded.close()
+
+    def __enter__(self) -> "SharedNfsTestbed":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- accounting --------------------------------------------------------------
 
     @property
     def total_messages(self) -> int:
@@ -151,4 +360,16 @@ class SharedNfsTestbed:
 
     @property
     def callbacks_sent(self) -> int:
-        return self.state.callbacks_sent
+        return sum(state.callbacks_sent for state in self.states)
+
+    @property
+    def messages_by_server(self) -> List[int]:
+        """Protocol requests that crossed each server's transports."""
+        totals = [0] * self.nservers
+        for index, counters in enumerate(self.counters):
+            totals[self.server_of(index)] += counters.messages
+        return totals
+
+    @property
+    def callbacks_by_server(self) -> List[int]:
+        return [state.callbacks_sent for state in self.states]

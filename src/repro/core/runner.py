@@ -286,7 +286,7 @@ class ExperimentRunner:
 
 @cell_kind("quick")
 def _cell_quick(kind: str, san: bool = False,
-                telemetry: bool = False) -> Dict[str, Any]:
+                telemetry: bool = False, shards: int = 0) -> Dict[str, Any]:
     """The ``repro quick`` smoke row for one stack kind.
 
     ``san=True`` runs the same workload under the runtime sanitizers
@@ -294,11 +294,14 @@ def _cell_quick(kind: str, san: bool = False,
     check fires, in which case the cell raises.  ``telemetry=True``
     attaches the streaming collector; its snapshot rides along under
     ``"__telemetry__"`` (stripped by the runner) and the measured fields
-    stay byte-identical.
+    stay byte-identical.  ``shards=1`` builds the stack on a one-shard
+    calendar (:func:`~repro.core.comparison.placement_shard`); the
+    result stays byte-identical, which CI's scale-smoke job enforces.
     """
-    from .comparison import make_stack
+    from .comparison import make_stack, placement_shard
 
-    stack = make_stack(kind, san=san, telemetry=telemetry)
+    stack = make_stack(kind, san=san, telemetry=telemetry,
+                       sim=placement_shard(shards, san=san))
     client = stack.client
 
     def work():
@@ -322,11 +325,13 @@ def _cell_quick(kind: str, san: bool = False,
 
 
 @cell_kind("syscall_table")
-def _cell_syscall_table(kind: str, depth: int, warm: bool) -> Dict[str, int]:
+def _cell_syscall_table(kind: str, depth: int, warm: bool,
+                        shards: int = 0) -> Dict[str, int]:
     """One (stack, depth) column of Table 2 (cold) or Table 3 (warm)."""
     from ..workloads import run_syscall_table
 
-    table = run_syscall_table(kinds=(kind,), depths=(depth,), warm=warm)
+    table = run_syscall_table(kinds=(kind,), depths=(depth,), warm=warm,
+                              shards=shards)
     return {op: row[kind] for op, row in table[depth].items()}
 
 
@@ -353,7 +358,7 @@ def _cell_seqrand(kind: str, mode: str, mb: int,
 
 
 @cell_kind("seqrand_table")
-def _cell_seqrand_table(kind: str, mb: int) -> Dict[str, Any]:
+def _cell_seqrand_table(kind: str, mb: int, shards: int = 0) -> Dict[str, Any]:
     """All four Table 4 modes for one stack, on one shared workload.
 
     One cell, not four: the workload's shuffle RNG is shared across the
@@ -363,7 +368,7 @@ def _cell_seqrand_table(kind: str, mb: int) -> Dict[str, Any]:
     """
     from ..workloads import SeqRandWorkload
 
-    workload = SeqRandWorkload(kind, file_mb=mb)
+    workload = SeqRandWorkload(kind, file_mb=mb, shards=shards)
     results = {}
     for mode, result in (
         ("seq-read", workload.run_read(True)),
@@ -375,6 +380,30 @@ def _cell_seqrand_table(kind: str, mb: int) -> Dict[str, Any]:
                          "messages": result.messages, "bytes": result.bytes,
                          "retransmissions": result.retransmissions}
     return results
+
+
+@cell_kind("scale_point")
+def _cell_scale_point(groups: int, clients_per_group: int, requests: int,
+                      nshards: int) -> Dict[str, Any]:
+    """Deterministic metrics of one ``repro scale`` sweep point.
+
+    Runs the sharded-kernel storm (:func:`repro.sim.perf.run_shard_storm`)
+    on the *sequential* executor — cells must be pure functions of their
+    parameters, and the storm's measured outcome is partition-invariant,
+    so this one cell certifies the numbers every timed sweep point (any
+    executor, any job count) must reproduce.  ``nshards=0`` is the flat
+    single-calendar reference.
+    """
+    from ..sim.perf import run_shard_storm
+
+    result = run_shard_storm(groups=groups,
+                             clients_per_group=clients_per_group,
+                             requests=requests, nshards=nshards,
+                             executor="sequential")
+    return {"clients": result["clients"],
+            "completed": result["completed"],
+            "records": result["records"],
+            "makespan": result["makespan"]}
 
 
 @cell_kind("postmark")

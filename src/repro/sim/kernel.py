@@ -409,6 +409,78 @@ class Simulator:
         """Return an event that fires when every one of ``events`` has."""
         return AllOf(self, events)
 
+    def peek(self) -> Optional[float]:
+        """Return the ``when`` of the next calendar record, or ``None``.
+
+        Sharded runs (:mod:`repro.sim.shard`) use this to compute the
+        global minimum next-event time for the conservative
+        synchronization window; it never pops or perturbs the calendar.
+        """
+        calendar = self._calendar
+        if not calendar:
+            return None
+        return calendar[0][0]
+
+    def schedule_at(self, when: float, call: Callable[[Any], None],
+                    arg: Any) -> None:
+        """Schedule ``call(arg)`` at the *absolute* time ``when``.
+
+        The cross-shard injection path: an arrival time computed on the
+        sending shard must land at exactly that float on the receiving
+        shard.  Routing through a relative delay (``when - now``) can
+        lose the low bits to float rounding, which would break the
+        byte-identity contract between sharded and sequential runs.
+        ``when`` must not lie in this simulator's past.
+        """
+        if when < self.now:
+            raise SimulationError(
+                "schedule_at(%r) is in the past (now=%r)" % (when, self.now))
+        self._sequence = seq = self._sequence + 1
+        heappush(self._calendar, (when, seq, _KIND_CALL1, call, arg))
+
+    def run_window(self, horizon: float) -> int:
+        """Process every record with ``when`` strictly below ``horizon``.
+
+        The building block of conservative parallel runs: a shard may
+        safely execute all events earlier than the synchronization
+        horizon because no other shard can inject anything below it
+        (cross-shard delivery takes at least the lookahead).  Unlike
+        :meth:`run`'s inclusive ``until`` bound, the comparison here is
+        strict — an event *on* the horizon belongs to the next window —
+        and the clock is left at the last processed event, never
+        advanced to the horizon (the next window's events may sort
+        before it).  Returns the number of records dispatched, which
+        the sharded driver aggregates into per-shard event rates.
+        """
+        calendar = self._calendar
+        pop = heappop
+        recorder = self.recorder
+        count = 0
+        while calendar:
+            when = calendar[0][0]
+            if when >= horizon:
+                break
+            record = pop(calendar)
+            count += 1
+            if when > self.now:
+                self.now = when
+            if recorder is not None:
+                recorder.note_event(record)
+            kind = record[2]
+            target = record[3]
+            if kind == 0:
+                target._process()
+            elif kind == 1:
+                target(record[4])
+            elif kind == 2:
+                target._resume(record[4], None)
+            elif kind == 3:
+                target._resume(None, record[4])
+            else:
+                target()
+        self._raise_unhandled()
+        return count
+
     def run(self, until: Optional[float] = None) -> None:
         """Run until the calendar empties or the clock reaches ``until``."""
         calendar = self._calendar

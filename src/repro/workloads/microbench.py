@@ -50,17 +50,21 @@ class SyscallMicrobench:
     """Cold/warm message counts for one syscall at one directory depth."""
 
     def __init__(self, kind: str, depth: int = 0,
-                 params: Optional[TestbedParams] = None):
+                 params: Optional[TestbedParams] = None, shards: int = 0):
         self.kind = kind
         self.depth = depth
         self.params = params
+        self.shards = shards
         self.base = "/" + "/".join("dir%d" % i for i in range(1, depth + 1)) \
             if depth else ""
 
     # -- environment -----------------------------------------------------------
 
     def _fresh_stack(self) -> StorageStack:
-        stack = make_stack(self.kind, self.params)
+        from ..core.comparison import placement_shard
+
+        stack = make_stack(self.kind, self.params,
+                           sim=placement_shard(self.shards, self.params))
         stack.run(self._setup(stack.client), name="setup")
         stack.quiesce()
         return stack
@@ -176,10 +180,12 @@ def run_syscall_table(
     ops: Optional[List[str]] = None,
     warm: bool = False,
     params: Optional[TestbedParams] = None,
+    shards: int = 0,
 ) -> Dict[int, Dict[str, Dict[str, int]]]:
     """Compute a Table 2 (cold) or Table 3 (warm) equivalent.
 
-    Returns ``{depth: {op: {kind: messages}}}``.
+    Returns ``{depth: {op: {kind: messages}}}``.  ``shards=1`` builds
+    every stack on a one-shard calendar (byte-identical placement check).
     """
     ops = ops if ops is not None else list(SYSCALL_OPS)
     table: Dict[int, Dict[str, Dict[str, int]]] = {}
@@ -188,7 +194,7 @@ def run_syscall_table(
         for op in ops:
             row: Dict[str, int] = {}
             for kind in kinds:
-                bench = SyscallMicrobench(kind, depth, params)
+                bench = SyscallMicrobench(kind, depth, params, shards=shards)
                 if warm:
                     row[kind] = bench.measure_warm(op)
                 else:

@@ -455,3 +455,37 @@ def test_checked_simulator_matches_plain_kernel():
 def test_finding_equality():
     assert Finding("S401", "x") == Finding("S401", "x")
     assert Finding("S401", "x") != Finding("S402", "x")
+
+
+def test_checked_run_window_matches_plain_kernel():
+    from repro.sim import Simulator
+
+    def pinger(sim, log, tag):
+        for step in range(6):
+            yield sim.timeout(0.5)
+            log.append((tag, step, sim.now))
+
+    logs = []
+    for sim_cls in (Simulator, CheckedSimulator):
+        sim = sim_cls()
+        log = []
+        sim.spawn(pinger(sim, log, "a"), name="a")
+        sim.spawn(pinger(sim, log, "b"), name="b")
+        counts = [sim.run_window(horizon) for horizon in (1.1, 2.1, 9.9)]
+        log.append(tuple(counts))
+        logs.append(log)
+    assert logs[0] == logs[1]
+    checked = CheckedSimulator()
+    assert checked.order_findings == []
+
+
+def test_checked_run_window_flags_order_regression():
+    """schedule_at below the already-dispatched frontier is an S403."""
+    sim = CheckedSimulator()
+    sim.schedule_at(1.0, lambda _p: None, None)
+    sim.run_window(2.0)
+    # Forge a record behind the frontier the checker already saw.
+    sim._last_when = 5.0
+    sim.schedule_at(3.0, lambda _p: None, None)
+    sim.run_window(10.0)
+    assert any(f.code == "S403" for f in sim.order_findings)

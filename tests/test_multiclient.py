@@ -160,3 +160,144 @@ def test_shared_consistency_costs_vs_unshared():
 
     sizes = bed.run(work())
     assert sizes == [4096 * (n + 1) for n in range(1, 5)]
+
+
+# -- multiple servers ----------------------------------------------------------
+
+
+def test_two_servers_are_independent_namespaces():
+    """Client i mounts server i % M: namespaces are per-server."""
+    bed = SharedNfsTestbed(nclients=4, nservers=2)
+    a0, a1, a2, _a3 = bed.clients    # a0, a2 -> server 0; a1, a3 -> server 1
+
+    def work():
+        yield from a0.mkdir("/only-on-server0")
+        names_same = yield from a2.readdir("/")
+        names_other = yield from a1.readdir("/")
+        return names_same, names_other
+
+    names_same, names_other = bed.run(work())
+    assert "only-on-server0" in names_same
+    assert "only-on-server0" not in names_other
+    bed.quiesce()
+
+
+def test_per_server_message_and_callback_accounting():
+    bed = SharedNfsTestbed(nclients=4, nservers=2)
+    clients = bed.clients
+
+    def work():
+        for client in clients:
+            yield from client.mkdir("/%s" % client.name)
+        return None
+
+    bed.run(work())
+    by_server = bed.messages_by_server
+    assert len(by_server) == 2
+    assert all(count >= 2 for count in by_server)
+    assert sum(by_server) == bed.total_messages
+    assert bed.callbacks_by_server == [0, 0]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SharedNfsTestbed(nservers=0)
+    with pytest.raises(ValueError):
+        SharedNfsTestbed(shards=0)
+    with pytest.raises(ValueError, match="fork"):
+        SharedNfsTestbed(shards=2, executor="fork")
+    with pytest.raises(ValueError, match="UDP"):
+        SharedNfsTestbed(kind="nfsv2", shards=2)   # v2 rides lossy UDP
+
+
+def test_sharded_bed_rejects_single_calendar_run():
+    with SharedNfsTestbed(nclients=2, shards=2) as bed:
+        with pytest.raises(RuntimeError, match="run_phase"):
+            bed.run(iter(()))
+
+
+# -- sharded placement: same testbed, partitioned calendars --------------------
+
+
+def _drive_phases(bed):
+    """One independent writer per client, then a full quiesce.  Returns
+    every partition-invariant observable the bed exposes."""
+    sizes = {}
+
+    def make(index, client):
+        def work():
+            fd = yield from client.creat("/f%d" % index)
+            yield from client.write(fd, (index + 1) * 4096)
+            yield from client.close(fd)
+            st = yield from client.stat("/f%d" % index)
+            sizes[index] = st.size
+            return None
+        return work
+
+    for index, client in enumerate(bed.clients):
+        bed.add_workload(index, make(index, client))
+    bed.run_phase()
+    bed.quiesce()
+    bed.close()
+    return (sorted(sizes.items()), bed.total_messages,
+            bed.messages_by_server, bed.callbacks_by_server)
+
+
+def test_sharded_testbed_matches_unsharded():
+    """The tentpole contract at the protocol level: partitioning the
+    testbed over shards (transport = the shard boundary) changes no
+    observable — sizes, message counts, per-server traffic."""
+    reference = _drive_phases(SharedNfsTestbed(nclients=4, nservers=2))
+    assert reference[0] == [(0, 4096), (1, 8192), (2, 12288), (3, 16384)]
+    for shards, executor in ((2, "thread"), (2, "sequential"),
+                             (3, "thread")):
+        bed = SharedNfsTestbed(nclients=4, nservers=2, shards=shards,
+                               executor=executor)
+        assert _drive_phases(bed) == reference
+
+
+def test_more_shards_than_clients_degenerates_cleanly():
+    """shards > nclients leaves some shards empty; the barrier still
+    aligns them and the run is unchanged."""
+    reference = _drive_phases(SharedNfsTestbed(nclients=4, nservers=2))
+    bed = SharedNfsTestbed(nclients=4, nservers=2, shards=6)
+    assert _drive_phases(bed) == reference
+
+
+def _drive_callbacks(bed):
+    a, b = bed.clients
+
+    def create():
+        fd = yield from a.creat("/f")
+        yield from a.close(fd)
+        return None
+
+    def peek():
+        yield from b.stat("/f")
+        return None
+
+    def mutate():
+        yield from a.chmod("/f", 0o600)
+        return None
+
+    bed.add_workload(0, create, phase="create")
+    bed.run_phase("create")
+    bed.quiesce()
+    bed.add_workload(1, peek, phase="peek")
+    bed.run_phase("peek")
+    bed.add_workload(0, mutate, phase="mutate")
+    bed.run_phase("mutate")
+    bed.quiesce()
+    bed.close()
+    return bed.callbacks_sent, bed.total_messages
+
+
+def test_enhanced_invalidation_crosses_shards():
+    """Section-7 callbacks genuinely travel between shards: a sharded
+    nfs-enhanced bed fires the same invalidations as the flat one."""
+    reference = _drive_callbacks(
+        SharedNfsTestbed(nclients=2, kind="nfs-enhanced"))
+    assert reference[0] >= 1
+    sharded = _drive_callbacks(
+        SharedNfsTestbed(nclients=2, kind="nfs-enhanced", shards=2))
+    assert sharded == reference
