@@ -13,6 +13,8 @@ Usage::
     python -m repro sec7
     python -m repro quick [--san] [--telemetry] [--shards 1]
     python -m repro scale [--clients 256] [--shards 1 4] [--reference]
+    python -m repro scale --farm [--nclients 64 256 1024] [--servers 1 4]
+    python -m repro scale --compare BASELINE.json CURRENT.json
     python -m repro faults <workload> [--stack KIND ...] [--plan P ...]
     python -m repro trace <workload> [--stack KIND] [--out FILE] [--tree]
     python -m repro bench [--suite quick] [--out FILE] [--jobs N]
@@ -57,7 +59,13 @@ sweeps shard counts over a fixed multi-client storm, certifies every
 timed run against a pure sequential cell (stdout prints only the
 partition-invariant metrics, so ``--shards 1`` output is byte-identical
 to ``--reference``), and writes wall-clock speedup plus the
-machine-independent synchronization stats to ``BENCH_scale.json``.
+machine-independent synchronization stats to ``BENCH_storm.json``.
+``scale --farm`` sweeps the protocol-aware server farm
+(repro.sim.farm) instead — ``nclients`` (to 1k+) x ``servers``
+(pNFS-style striped exports) x ``connections`` (MC/S channels) x
+``sharing`` — and writes a schema-2 document whose every field is
+simulated outcome, byte-comparable across hosts (``scale --compare``
+diffs two such documents exactly).
 ``--shards 1`` on quick/table2/table3/table4 rebuilds each stack on a
 one-shard calendar placement — output must stay byte-identical to the
 flat kernel.
@@ -133,7 +141,9 @@ def cmd_list(_args) -> int:
     print("            dash (streaming-telemetry dashboards)  "
           "lint (simulator-discipline linter)")
     print("            explain (differential diagnosis of two runs)")
-    print("            scale (shard-count sweep -> BENCH_scale.json)")
+    print("            scale (shard-count sweep -> BENCH_storm.json; "
+          "--farm server-farm matrix -> BENCH_scale.json over "
+          "nclients x servers x connections x sharing)")
     print("            --san arms the runtime sanitizers; "
           "--telemetry attaches streaming rollups")
     print("commands:   %s" % " ".join(iter_subcommands()))
@@ -581,7 +591,7 @@ def cmd_sec7(args) -> int:
 
 
 def cmd_scale(args) -> int:
-    """Sweep shard counts over one multi-client storm; write BENCH_scale.json.
+    """Sweep shard counts over one multi-client storm; write BENCH_storm.json.
 
     stdout carries only the partition-invariant storm metrics
     (completed/records/makespan), certified by one pure ``scale_point``
@@ -591,6 +601,12 @@ def cmd_scale(args) -> int:
     ``--out`` only, because wall-clock speedup depends on the host's
     core count; ``ideal_speedup`` and ``cross_fraction`` in the JSON
     are the machine-independent numbers.
+
+    ``--farm`` switches to the server-farm sweep (:mod:`repro.sim.farm`)
+    over ``nclients x servers x connections x sharing``; its stdout rows
+    and its schema-2 document are pure simulated outcome under the same
+    byte-identity contract (``--shards 1`` == ``--reference``, and the
+    document diffs exactly across hosts via ``--compare``).
     """
     import os
     import time
@@ -598,6 +614,28 @@ def cmd_scale(args) -> int:
     from .sim.perf import run_shard_storm
     from .sim.shard import default_parallel_executor
 
+    if args.compare:
+        from .obs.bench import compare_scale_documents, load_bench
+        try:
+            baseline = load_bench(args.compare[0])
+            current = load_bench(args.compare[1])
+        except (OSError, ValueError) as exc:
+            print("scale: cannot read document: %s" % exc, file=sys.stderr)
+            return 2
+        problems = compare_scale_documents(baseline, current)
+        for problem in problems:
+            print("scale: %s" % problem)
+        print("scale: %s"
+              % ("documents diverged (%d problems)" % len(problems)
+                 if problems else "documents identical"))
+        return 1 if problems else 0
+    if args.out is None:
+        # Per-mode defaults: the committed BENCH_scale.json is the farm
+        # matrix, so the storm (whose wall-clock figures are
+        # host-dependent) must not clobber it by default.
+        args.out = "BENCH_scale.json" if args.farm else "BENCH_storm.json"
+    if args.farm:
+        return _cmd_scale_farm(args)
     if args.clients % args.groups:
         print("scale: --clients must be a multiple of --groups",
               file=sys.stderr)
@@ -689,6 +727,141 @@ def cmd_scale(args) -> int:
     print("scale: wrote %s (host cpus=%s)" % (args.out, os.cpu_count()),
           file=sys.stderr)
     return 0
+
+
+def _cmd_scale_farm(args) -> int:
+    """The ``repro scale --farm`` sweep: a grid of certified farm cells.
+
+    Every point is one pure ``farm_point`` runner cell (sequential
+    executor; ``nshards`` from ``--shards``/``--reference``), so the
+    grid parallelizes over ``--jobs`` and caches under ``--cache``
+    without touching the outcome.  stdout rows and the written document
+    carry only machine-independent simulated figures.
+    """
+    from .obs.bench import SCALE_SCHEMA_VERSION
+
+    for flag, values in (("--nclients", args.nclients),
+                         ("--servers", args.servers),
+                         ("--connections", args.connections)):
+        for value in values:
+            if value < 1:
+                print("scale: %s values must be >= 1 (got %d)"
+                      % (flag, value), file=sys.stderr)
+                return 2
+    if not 0.0 <= args.sharing <= 1.0:
+        print("scale: --sharing must be in [0, 1] (got %r)"
+              % (args.sharing,), file=sys.stderr)
+        return 2
+    if any(count < 1 for count in args.shards):
+        print("scale: --shards values must be >= 1 (the flat reference "
+              "is --reference)", file=sys.stderr)
+        return 2
+    nshards = 0 if args.reference else args.shards[0]
+    runner = ExperimentRunner(jobs=args.jobs, use_cache=args.cache)
+    cells = []
+    for protocol in args.protocol:
+        for nservers in args.servers:
+            for connections in args.connections:
+                for nclients in args.nclients:
+                    # Sharing is an NFS-only axis: iSCSI volumes are
+                    # single-client by design (Section 2.3).
+                    sharing = args.sharing if protocol == "nfs" else 0.0
+                    cells.append(_cell(
+                        "farm_point", protocol=protocol, nclients=nclients,
+                        nservers=nservers, connections=connections,
+                        sharing=sharing, requests=args.requests,
+                        nshards=nshards))
+    results = runner.run(cells)
+    points = []
+    for cell in cells:
+        record = results[cell.id]
+        print("farm %s: clients=%d servers=%d conn=%d sharing=%r "
+              "completed=%d makespan=%r messages=%d throughput=%r"
+              % (record["protocol"], record["clients"], record["servers"],
+                 record["connections"], record["sharing"],
+                 record["completed"], record["makespan"],
+                 record["messages"], record["throughput"]))
+        point = dict(record)
+        point["id"] = "%s/s%d/x%d/n%d" % (
+            record["protocol"], record["servers"], record["connections"],
+            record["clients"])
+        points.append(point)
+    if args.reference:
+        return 0
+    document = {
+        "schema": SCALE_SCHEMA_VERSION,
+        "kind": "farm",
+        "config": {
+            "protocols": list(args.protocol),
+            "nclients": list(args.nclients),
+            "servers": list(args.servers),
+            "connections": list(args.connections),
+            "sharing": args.sharing,
+            "requests_per_client": args.requests,
+        },
+        "points": points,
+        "series": _farm_series(points),
+        "note": "every field is deterministic simulated outcome; "
+                "documents diff exactly across hosts via "
+                "`repro scale --compare`",
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("scale: wrote %s (%d farm points)" % (args.out, len(points)),
+          file=sys.stderr)
+    return 0
+
+
+def _farm_series(points) -> dict:
+    """Scaling laws per (protocol, servers, connections) series.
+
+    ``efficiency`` is each point's per-client throughput relative to the
+    smallest farm in its series; ``saturation_clients`` is the first
+    farm size past the knee (efficiency < 0.5, i.e. adding clients has
+    stopped adding proportional throughput); ``message_exponent`` is the
+    least-squares slope of ln(messages) over ln(clients) — 1.0 means
+    per-client message cost is flat, above it the protocol pays a
+    growing coordination tax.
+    """
+    import math
+
+    groups: dict = {}
+    for point in points:
+        key = "%s/s%d/x%d" % (point["protocol"], point["servers"],
+                              point["connections"])
+        groups.setdefault(key, []).append(point)
+    series = {}
+    for key, members in sorted(groups.items()):
+        members = sorted(members, key=lambda point: point["clients"])
+        base = members[0]
+        per_client_base = base["throughput"] / base["clients"]
+        efficiency = []
+        saturation = None
+        for point in members:
+            relative = round((point["throughput"] / point["clients"])
+                             / per_client_base, 6)
+            efficiency.append([point["clients"], relative])
+            if saturation is None and relative < 0.5:
+                saturation = point["clients"]
+        exponent = None
+        if len(members) > 1:
+            log_clients = [math.log(point["clients"]) for point in members]
+            log_messages = [math.log(point["messages"]) for point in members]
+            mean_x = sum(log_clients) / len(log_clients)
+            mean_y = sum(log_messages) / len(log_messages)
+            denominator = sum((x - mean_x) ** 2 for x in log_clients)
+            if denominator:
+                exponent = round(
+                    sum((x - mean_x) * (y - mean_y)
+                        for x, y in zip(log_clients, log_messages))
+                    / denominator, 6)
+        series[key] = {
+            "efficiency": efficiency,
+            "saturation_clients": saturation,
+            "message_exponent": exponent,
+        }
+    return series
 
 
 # -- all: the whole paper in one run -------------------------------------------------
@@ -1157,9 +1330,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sc = sub.add_parser(
         "scale",
-        help="sweep shard counts on the multi-client storm; write "
-             "BENCH_scale.json",
-    )
+        help="sweep shard counts on the multi-client storm, or (--farm) "
+             "sweep a protocol-aware server farm over nclients x servers "
+             "x connections x sharing; write BENCH_scale.json",
+        description="Two sweep families share this command. The default "
+                    "storm sweeps shard counts over the hub/client "
+                    "kernel benchmark and reports wall-clock speedup. "
+                    "--farm instead sweeps the protocol-aware farm "
+                    "(repro.sim.farm) over four axes: --nclients (farm "
+                    "size, to 1k+ clients), --servers (pNFS-style "
+                    "striped exports; server 0 is the metadata server), "
+                    "--connections (MC/S-style concurrent channels per "
+                    "client), and --sharing (fraction of NFS requests "
+                    "hitting a shared file pool; ignored by iscsi, whose "
+                    "volumes are single-client). Farm output is pure "
+                    "simulated outcome, byte-comparable across hosts; "
+                    "--compare OLD NEW diffs two farm documents exactly.")
     sc.add_argument("--clients", type=int, default=256,
                     help="total storm clients (default 256)")
     sc.add_argument("--groups", type=int, default=8,
@@ -1177,11 +1363,38 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--repeat", type=int, default=3,
                     help="timed runs per point; best-of wall clock "
                          "(default 3)")
-    sc.add_argument("--out", default="BENCH_scale.json",
-                    help="result file (default BENCH_scale.json)")
+    sc.add_argument("--out", default=None,
+                    help="result file (default BENCH_storm.json for the "
+                         "kernel storm, BENCH_scale.json for --farm)")
     sc.add_argument("--reference", action="store_true",
                     help="run the flat (unsharded) reference kernel, print "
                          "the invariant metrics, and skip the timed sweep")
+    sc.add_argument("--farm", action="store_true",
+                    help="sweep the protocol-aware server farm instead of "
+                         "the kernel storm (axes: --nclients --servers "
+                         "--connections --sharing)")
+    sc.add_argument("--protocol", nargs="+", choices=("nfs", "iscsi"),
+                    default=["nfs", "iscsi"], metavar="PROTO",
+                    help="farm protocols to sweep (default: nfs iscsi)")
+    sc.add_argument("--nclients", type=int, nargs="+",
+                    default=[64, 256, 1024], metavar="N",
+                    help="farm sizes to sweep (default: 64 256 1024)")
+    sc.add_argument("--servers", type=int, nargs="+", default=[1, 4],
+                    metavar="M",
+                    help="server counts; NFS stripes one namespace over "
+                         "all M exports pNFS-style (default: 1 4)")
+    sc.add_argument("--connections", type=int, nargs="+", default=[1, 4],
+                    metavar="K",
+                    help="concurrent channels per client, the MC/S axis "
+                         "(default: 1 4)")
+    sc.add_argument("--sharing", type=float, default=0.25,
+                    help="fraction of NFS requests hitting the shared "
+                         "file pool, in [0, 1] (default 0.25)")
+    sc.add_argument("--cache", action="store_true",
+                    help="reuse cached farm cells ($REPRO_CACHE_DIR)")
+    sc.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                    help="exact-diff two farm scale documents and exit "
+                         "(1 if they diverge)")
     sc.set_defaults(func=cmd_scale)
 
     fl = sub.add_parser(

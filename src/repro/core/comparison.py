@@ -191,6 +191,12 @@ class StorageStack:
                 initiator=self.initiator,
                 tracer=self.tracer,
             )
+            # MC/S: every connection of the session crosses the same
+            # faulted wire, so reorder/loss/flap plans apply to the
+            # extra transports too (the injector ctor only attached to
+            # the leading one).
+            for transport in self.mcs_transports:
+                transport.fault = self.fault_injector
         self.sanitizer = None
         if san:
             from ..check.simsan import SimSan
@@ -239,6 +245,10 @@ class StorageStack:
 
     def _build_iscsi(self) -> None:
         cpu = self.params.cpu
+        iscsi = self.params.iscsi
+        if iscsi.connections < 1:
+            raise ValueError("iscsi connections must be >= 1 (got %d)"
+                             % (iscsi.connections,))
         target_rpc = RpcPeer(
             self.sim,
             self.transport.server,
@@ -266,11 +276,57 @@ class StorageStack:
             tracer=self.tracer,
             track="client",
         )
+        # MC/S (repro.iscsi.mcs): extra TCP connections share the one
+        # physical link (and the stack's message counters) but get their
+        # own transport endpoints and RPC peers per side.  connections=1
+        # builds nothing extra, keeping the original wiring (and every
+        # committed output) byte-identical.
+        self.session = None
+        self.mcs_transports = []
+        initiator_rpcs = [initiator_rpc]
+        for conn in range(1, iscsi.connections):
+            transport = DuplexTransport(
+                self.sim,
+                self.link,
+                counters=self.counters,
+                reliable=True,
+                name="%s.mcs%d" % (self.kind, conn),
+                tracer=self.tracer,
+            )
+            self.mcs_transports.append(transport)
+            conn_target_rpc = RpcPeer(
+                self.sim,
+                transport.server,
+                transport.send_from_server,
+                cpu=self.server_host.cpu,
+                per_message_cpu=cpu.net_per_message,
+                per_byte_cpu=cpu.copy_per_byte,
+                name="iscsi.target.rpc.c%d" % conn,
+                tracer=self.tracer,
+                track="server",
+            )
+            self.target.add_connection(conn_target_rpc)
+            initiator_rpcs.append(RpcPeer(
+                self.sim,
+                transport.client,
+                transport.send_from_client,
+                cpu=self.client_host.cpu,
+                per_message_cpu=cpu.net_per_message,
+                per_byte_cpu=cpu.copy_per_byte,
+                name="iscsi.initiator.rpc.c%d" % conn,
+                tracer=self.tracer,
+                track="client",
+            ))
+        if iscsi.connections > 1:
+            from ..iscsi.mcs import McsSession
+            self.session = McsSession(self.sim, initiator_rpcs,
+                                      policy=iscsi.mcs_policy)
         self.initiator = IscsiInitiator(
             self.sim, initiator_rpc, nblocks=self.raid.nblocks,
             params=self.params.iscsi,
             cpu=self.client_host.cpu, cpu_params=cpu,
             tracer=self.tracer,
+            session=self.session,
         )
         self.fs = Ext3Fs(
             self.sim,
@@ -353,6 +409,8 @@ class StorageStack:
         self.client = self.nfs_client
         self.target = None
         self.initiator = None
+        self.session = None
+        self.mcs_transports = []
 
     def _register_probes(self) -> None:
         """Attach the vmstat-style utilization probes and start sampling."""
@@ -469,6 +527,19 @@ class StorageStack:
             telem.add_series("client.cache.misses_s",
                              counter_probe(self.fs.cache.stats, "misses"),
                              kind="cumulative", tag="rate")
+            session = self.session
+            if session is not None:
+                # MC/S: per-connection PDU rates expose scheduler skew,
+                # and the held gauge is the in-order completion buffer.
+                for conn in range(session.nconnections):
+                    telem.add_series(
+                        "client.iscsi.conn%02d.pdus_s" % conn,
+                        lambda conn=conn: float(
+                            session.pdus_by_connection[conn]),
+                        kind="cumulative", tag="rate")
+                telem.add_series("client.iscsi.held",
+                                 lambda: float(session.held_now),
+                                 kind="gauge", tag="queue")
         else:
             telem.add_series("server.cache.hits_s",
                              counter_probe(self.fs.cache.stats, "hits"),

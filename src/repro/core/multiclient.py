@@ -15,7 +15,11 @@ Two axes of scale:
 * ``nservers=M`` builds M independent server machines (host + RAID +
   ext3 + delegation state); client *i* mounts server ``i % M``.  Per-
   server traffic is visible through :attr:`messages_by_server` and
-  :attr:`callbacks_by_server`.
+  :attr:`callbacks_by_server`.  With ``striped=True`` every client
+  instead connects to *every* server and routes each path to its
+  pNFS-style layout home (:mod:`repro.nfs.pnfs`): server 0 doubles as
+  the metadata server answering ``LAYOUTGET``, and a cross-server
+  namespace is striped over all M exports.
 * ``shards=K`` partitions the whole testbed over K shards of a
   :class:`~repro.sim.shard.ShardedSimulator`: server *s* lands on shard
   ``s % K``, client *i* on shard ``i % K``, and each client-server pair
@@ -38,6 +42,7 @@ from ..net.link import Link
 from ..net.rpc import RetransmitPolicy, RpcPeer
 from ..net.transport import DuplexTransport, ShardedTransport
 from ..nfs.client import NfsClient
+from ..nfs.pnfs import StripeLayout, StripedNfsClient
 from ..nfs.server import NfsServer, ServerState
 from ..sim import Simulator
 from ..storage.raid import Raid5Volume
@@ -69,6 +74,24 @@ class _MergedCounters:
         return self.transport.merged_counters()
 
 
+class _FanoutCounters:
+    """Per-client accounting over a striped one-transport-per-server fan.
+
+    ``per_server[s]`` is the counter facade for this client's connection
+    to server ``s`` (a :class:`MessageCounters` when flat, a
+    :class:`_MergedCounters` when sharded); ``messages`` sums the fan.
+    """
+
+    __slots__ = ("per_server",)
+
+    def __init__(self, per_server: List[Any]):
+        self.per_server = list(per_server)
+
+    @property
+    def messages(self) -> int:
+        return sum(counters.messages for counters in self.per_server)
+
+
 class SharedNfsTestbed:
     """``nclients`` NFS clients sharing ``nservers`` servers."""
 
@@ -81,6 +104,7 @@ class SharedNfsTestbed:
         shards: int = 1,
         executor: str = "thread",
         jobs: Optional[int] = None,
+        striped: bool = False,
     ):
         if kind == "iscsi":
             raise ValueError(
@@ -96,6 +120,12 @@ class SharedNfsTestbed:
         self.kind = kind
         self.nservers = nservers
         self.shards = shards
+        # pNFS-style export striping (repro.nfs.pnfs): every client
+        # connects to every server and routes each path to its layout
+        # home; striped=False keeps the classic client-mounts-one-server
+        # wiring (and its event sequence) untouched.
+        self.striped = striped
+        self.layout = StripeLayout(nservers) if striped else None
         self.params = StorageStack._specialize_params(
             kind, params if params is not None else TestbedParams()
         )
@@ -132,13 +162,16 @@ class SharedNfsTestbed:
         self.states: List[ServerState] = []
         for index in range(nservers):
             self._add_server(index)
+        if striped:
+            for state in self.states:
+                state.layout = self.layout
         # Legacy single-server aliases.
         self.server_host = self.server_hosts[0]
         self.raid = self.raids[0]
         self.fs = self.filesystems[0]
         self.state = self.states[0]
         self.client_hosts: List[Host] = []
-        self.clients: List[NfsClient] = []
+        self.clients: List[Any] = []
         self.counters: List[Any] = []
         self.servers: List[NfsServer] = []
         self._phases: dict = {}
@@ -215,11 +248,42 @@ class SharedNfsTestbed:
 
     def _add_client(self, index: int) -> None:
         cpu = self.params.cpu
-        nfs = self.params.nfs
-        server_index = self.server_of(index)
-        server_host = self.server_hosts[server_index]
         client_sim = self._client_sim(index)
         host = Host(client_sim, cpu.client_cpus, "client%d" % index)
+        self.client_hosts.append(host)
+        if not self.striped:
+            client, counters, server = self._connect(
+                index, self.server_of(index), host)
+            self.clients.append(client)
+            self.counters.append(counters)
+            self.servers.append(server)
+            return
+        # Striped: one connection per server, routed by the layout.
+        inner_clients: List[NfsClient] = []
+        fan: List[Any] = []
+        for server_index in range(self.nservers):
+            client, counters, server = self._connect(
+                index, server_index, host, suffix=".s%d" % server_index)
+            inner_clients.append(client)
+            fan.append(counters)
+            self.servers.append(server)
+        self.clients.append(StripedNfsClient(
+            client_sim, inner_clients, layout=self.layout))
+        self.counters.append(_FanoutCounters(fan))
+
+    def _connect(self, index: int, server_index: int, host: Host,
+                 suffix: str = ""):
+        """Wire client ``index`` to server ``server_index``.
+
+        Returns ``(client, counters, server_frontend)``.  ``suffix``
+        distinguishes the per-server endpoints of a striped client; the
+        classic single-mount path passes the empty suffix, keeping every
+        endpoint name (and the event sequence) exactly as before.
+        """
+        cpu = self.params.cpu
+        nfs = self.params.nfs
+        server_host = self.server_hosts[server_index]
+        client_sim = self._client_sim(index)
         if self.sharded is None:
             link = Link(self.sim, rtt=self.params.network.rtt,
                         bandwidth=self.params.network.bandwidth)
@@ -227,7 +291,7 @@ class SharedNfsTestbed:
             transport: Any = DuplexTransport(
                 self.sim, link, counters=counters,
                 reliable=nfs.transport != "udp",
-                name="%s.c%d" % (self.kind, index),
+                name="%s.c%d%s" % (self.kind, index, suffix),
             )
             server_sim = self.sim
         else:
@@ -236,7 +300,7 @@ class SharedNfsTestbed:
                 self.sharded.shard(self.server_shard_index(server_index)),
                 rtt=self.params.network.rtt,
                 bandwidth=self.params.network.bandwidth,
-                name="%s.c%d" % (self.kind, index),
+                name="%s.c%d%s" % (self.kind, index, suffix),
             )
             counters = _MergedCounters(transport)
             server_sim = self._server_sim(server_index)
@@ -246,14 +310,14 @@ class SharedNfsTestbed:
             per_message_cpu=(cpu.net_per_message + cpu.rpc_layer
                              + cpu.nfs_server_layer),
             per_byte_cpu=cpu.copy_per_byte,
-            name="nfsd.c%d" % index,
+            name="nfsd.c%d%s" % (index, suffix),
         )
         # All frontends of one server share its filesystem, its
         # delegation/cache state, and its per-inode write locks.
         server = NfsServer(server_sim, self.filesystems[server_index],
                            server_rpc, params=nfs,
                            cpu_params=cpu, state=self.states[server_index],
-                           name="nfsd.c%d" % index)
+                           name="nfsd.c%d%s" % (index, suffix))
         client_rpc = RpcPeer(
             client_sim, transport.client, transport.send_from_client,
             cpu=host.cpu,
@@ -265,18 +329,15 @@ class SharedNfsTestbed:
                 max_retries=nfs.rpc_max_retries,
                 reset_connection=nfs.transport == "tcp",
             ),
-            name="nfs.c%d" % index,
+            name="nfs.c%d%s" % (index, suffix),
         )
         client = NfsClient(
             client_sim, client_rpc, params=nfs,
             cache_params=self.params.cache, cpu_params=cpu,
-            name="nfs-client%d" % index,
+            name="nfs-client%d%s" % (index, suffix),
             client_id="client%d" % index,
         )
-        self.client_hosts.append(host)
-        self.clients.append(client)
-        self.counters.append(counters)
-        self.servers.append(server)
+        return client, counters, server
 
     # -- driving -----------------------------------------------------------------
 
@@ -366,9 +427,19 @@ class SharedNfsTestbed:
     def messages_by_server(self) -> List[int]:
         """Protocol requests that crossed each server's transports."""
         totals = [0] * self.nservers
+        if self.striped:
+            for counters in self.counters:
+                for server, inner in enumerate(counters.per_server):
+                    totals[server] += inner.messages
+            return totals
         for index, counters in enumerate(self.counters):
             totals[self.server_of(index)] += counters.messages
         return totals
+
+    @property
+    def layouts_granted(self) -> int:
+        """LAYOUTGET grants answered across all servers (striped only)."""
+        return sum(state.layouts_granted for state in self.states)
 
     @property
     def callbacks_by_server(self) -> List[int]:

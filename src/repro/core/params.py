@@ -162,6 +162,13 @@ class IscsiParams:
     max_coalesced_read: int = 128 * KB
     command_header_bytes: int = 48         # basic header segment
     immediate_data: bool = True
+    # MC/S (multiple connections per session).  connections=1 keeps the
+    # original single-TCP-connection wiring byte-identical; >1 adds
+    # per-connection transports with a PDU scheduler ("rr" round-robin
+    # or "qdepth" least-queue-depth) and in-order command completion at
+    # the initiator (repro.iscsi.mcs).
+    connections: int = 1
+    mcs_policy: str = "rr"
 
 
 @dataclass

@@ -406,6 +406,27 @@ def _cell_scale_point(groups: int, clients_per_group: int, requests: int,
             "makespan": result["makespan"]}
 
 
+@cell_kind("farm_point")
+def _cell_farm_point(protocol: str, nclients: int, nservers: int,
+                     connections: int, sharing: float, requests: int,
+                     nshards: int) -> Dict[str, Any]:
+    """One farm-sweep point (:func:`repro.sim.farm.run_farm`).
+
+    Like ``scale_point``, the cell runs on the sequential executor and
+    certifies the machine-independent outcome every partitioning of the
+    same point must reproduce; the partition-dependent shard ``report``
+    is dropped so the cell value is a pure function of its parameters.
+    """
+    from ..sim.farm import run_farm
+
+    result = run_farm(protocol=protocol, nclients=nclients,
+                      nservers=nservers, connections=connections,
+                      sharing=sharing, requests=requests, nshards=nshards,
+                      executor="sequential")
+    result.pop("report")
+    return result
+
+
 @cell_kind("postmark")
 def _cell_postmark(kind: str, files: int, transactions: int) -> Dict[str, Any]:
     """One PostMark row (Tables 5 and 9/10 share this kind)."""

@@ -1,7 +1,9 @@
-"""iSCSI protocol stack: initiator (client) and target (server)."""
+"""iSCSI protocol stack: initiator (client), target (server), MC/S."""
 
 from . import scsi
 from .initiator import IscsiInitiator
+from .mcs import MCS_POLICIES, McsSession
 from .target import IscsiTarget
 
-__all__ = ["IscsiInitiator", "IscsiTarget", "scsi"]
+__all__ = ["IscsiInitiator", "IscsiTarget", "MCS_POLICIES", "McsSession",
+           "scsi"]

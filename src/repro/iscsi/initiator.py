@@ -37,10 +37,16 @@ class IscsiInitiator(BlockDevice):
         cpu_params: Optional[CpuParams] = None,
         name: str = "iscsi-initiator",
         tracer: Optional[NullTracer] = None,
+        session=None,
     ):
         super().__init__(nblocks, name=name)
         self.sim = sim
         self.rpc = rpc
+        # MC/S (repro.iscsi.mcs): when a multi-connection session is
+        # attached, command exchanges route through its PDU scheduler and
+        # in-order completion buffer; session=None keeps the original
+        # direct rpc.call path (and event sequence) byte-identical.
+        self.session = session
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.params = params if params is not None else IscsiParams()
         self.cpu = cpu
@@ -121,6 +127,10 @@ class IscsiInitiator(BlockDevice):
         if not self.fault_mode or not self._session_up:
             return
         self.session_drops += 1
+        if self.session is not None:
+            # MC/S session reinstatement: forfeit CmdSN ordering state so
+            # post-relogin commands are not held for abandoned ones.
+            self.session.reset()
         self._session_up = False
         self._up_event = self.sim.event()
         dropped = self._drop_event
@@ -157,16 +167,16 @@ class IscsiInitiator(BlockDevice):
     def _exchange(self, op: str, payload: int, **body) -> Generator:
         """One command exchange, re-queued across session drops."""
         header = self.params.command_header_bytes
+        call = self.rpc.call if self.session is None else self.session.call
         if not self.fault_mode:
-            reply = yield from self.rpc.call(
+            reply = yield from call(
                 op, payload_bytes=payload, header_bytes=header, **body)
             return reply
         while True:
             if not self._session_up:
                 yield self._up_event
             attempt = self.sim.spawn(
-                self.rpc.call(op, payload_bytes=payload, header_bytes=header,
-                              **body),
+                call(op, payload_bytes=payload, header_bytes=header, **body),
                 name=self.name + "." + op,
             )
             winner, value = yield self.sim.any_of([attempt, self._drop_event])

@@ -1,0 +1,158 @@
+"""MC/S — multiple connections per iSCSI session (RFC 3720 Section 3.4.3).
+
+The axis studied by "Performance Evaluation of Multiple TCP connections
+in iSCSI" (PAPERS.md): one session fans its command PDUs over several
+TCP connections to overcome per-connection bottlenecks, while the
+protocol still guarantees commands *complete* in CmdSN order at the
+initiator.
+
+:class:`McsSession` implements exactly those two mechanisms over the
+repo's existing RPC peers:
+
+* **per-connection PDU scheduling** — every command allocates the next
+  CmdSN and is assigned a connection by the session policy:
+  ``"rr"`` (round-robin by CmdSN) or ``"qdepth"`` (the connection with
+  the fewest in-flight commands, ties broken by the lowest connection
+  id so scheduling stays deterministic);
+* **in-order completion** — a command whose SCSI response arrives while
+  a lower CmdSN is still outstanding parks on an event and is released
+  only when every earlier command has completed, i.e. responses may
+  arrive in any order (reorder/loss fault plans exercise this) but
+  ``call`` returns strictly in CmdSN order.
+
+A session over exactly one connection degenerates to a pass-through of
+``rpcs[0].call`` plus counter updates; the stack builder keeps the
+``connections=1`` configuration on the original direct-call path
+anyway, so existing outputs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Sequence
+
+__all__ = ["McsSession", "MCS_POLICIES"]
+
+MCS_POLICIES = ("rr", "qdepth")
+
+# Completion-order evidence kept for tests/diagnostics; bounded so a
+# long farm run cannot grow the session without limit.
+_ORDER_LOG_LIMIT = 100_000
+
+
+class McsSession:
+    """One iSCSI session multiplexed over ``len(rpcs)`` connections."""
+
+    def __init__(self, sim, rpcs: Sequence[Any], policy: str = "rr",
+                 name: str = "iscsi-session"):
+        if not rpcs:
+            raise ValueError("an MC/S session needs at least one connection")
+        if policy not in MCS_POLICIES:
+            raise ValueError("unknown MC/S policy %r; one of %s"
+                             % (policy, MCS_POLICIES))
+        self.sim = sim
+        self.rpcs = list(rpcs)
+        self.policy = policy
+        self.name = name
+        self._cmdsn = 0           # next CmdSN to allocate
+        self._next_done = 0       # lowest CmdSN not yet completed
+        self._inflight: List[int] = [0] * len(self.rpcs)
+        self._waiters: Dict[int, Any] = {}   # cmdsn -> parked completion
+        # Counters (all deterministic, reported by telemetry and tests).
+        self.pdus_by_connection: List[int] = [0] * len(self.rpcs)
+        self.commands_issued = 0
+        self.commands_completed = 0
+        self.completions_held = 0   # responses that arrived out of order
+        self.max_held = 0
+        self.session_resets = 0
+        # Evidence trail: (cmdsn, connection) in response-arrival order,
+        # and cmdsn in release order; the in-order test asserts the
+        # second is sorted even when the first is not.
+        self.arrival_order: List[int] = []
+        self.release_order: List[int] = []
+
+    # -- scheduling ------------------------------------------------------------
+
+    @property
+    def nconnections(self) -> int:
+        return len(self.rpcs)
+
+    @property
+    def held_now(self) -> int:
+        """Completed-but-parked commands (the in-order buffer depth)."""
+        return len(self._waiters)
+
+    def _pick(self, cmdsn: int) -> int:
+        if self.policy == "rr" or len(self.rpcs) == 1:
+            return cmdsn % len(self.rpcs)
+        # qdepth: least in-flight, ties to the lowest connection id.
+        best = 0
+        depth = self._inflight[0]
+        for index in range(1, len(self._inflight)):
+            if self._inflight[index] < depth:
+                best = index
+                depth = self._inflight[index]
+        return best
+
+    # -- the command path ------------------------------------------------------
+
+    def call(self, op: str, payload_bytes: int = 0, header_bytes: int = 48,
+             **body) -> Generator:
+        """Coroutine: one command exchange with in-order completion.
+
+        Returns the reply of the underlying RPC call, but only after
+        every command with a lower CmdSN has returned to its caller.
+        """
+        cmdsn = self._cmdsn
+        self._cmdsn += 1
+        connection = self._pick(cmdsn)
+        self._inflight[connection] += 1
+        self.pdus_by_connection[connection] += 1
+        self.commands_issued += 1
+        reply = yield from self.rpcs[connection].call(
+            op, payload_bytes=payload_bytes, header_bytes=header_bytes,
+            cmdsn=cmdsn, **body)
+        self._inflight[connection] -= 1
+        if len(self.arrival_order) < _ORDER_LOG_LIMIT:
+            self.arrival_order.append(cmdsn)
+        if cmdsn != self._next_done:
+            # The response beat an earlier command's: park until every
+            # lower CmdSN has been released (in-order completion).
+            self.completions_held += 1
+            gate = self.sim.event()
+            self._waiters[cmdsn] = gate
+            if len(self._waiters) > self.max_held:
+                self.max_held = len(self._waiters)
+            yield gate
+        self._release(cmdsn)
+        return reply
+
+    def _release(self, cmdsn: int) -> None:
+        if len(self.release_order) < _ORDER_LOG_LIMIT:
+            self.release_order.append(cmdsn)
+        self.commands_completed += 1
+        # max(): after a session reset the cursor has already jumped past
+        # every pre-reset CmdSN, and a late release must not rewind it.
+        self._next_done = max(self._next_done, cmdsn + 1)
+        gate = self._waiters.pop(self._next_done, None)
+        if gate is not None:
+            gate.trigger(None)
+
+    # -- session recovery (repro.faults) ---------------------------------------
+
+    def reset(self) -> None:
+        """Session reinstatement: forfeit in-flight CmdSN state.
+
+        Called on an iSCSI session drop (link flap / target crash).
+        Commands abandoned mid-flight never complete under their old
+        CmdSN, so the completion cursor jumps past every allocated
+        sequence number and parked completions are released — their
+        responses did arrive; only the ordering barrier died with the
+        session.  Per-connection depth restarts at zero.
+        """
+        self.session_resets += 1
+        self._next_done = self._cmdsn
+        self._inflight = [0] * len(self.rpcs)
+        waiters = sorted(self._waiters.items())
+        self._waiters = {}
+        for _cmdsn, gate in waiters:
+            gate.trigger(None)

@@ -45,6 +45,15 @@ class IscsiTarget:
         self.commands_served = 0
         self.logins_served = 0
         rpc.set_handler(self.handle)
+        # MC/S: every connection of the session dispatches into this one
+        # target (shared volume, shared counters); connections[0] is the
+        # leading connection that also serves LOGIN.
+        self.connections = [rpc]
+
+    def add_connection(self, rpc: RpcPeer) -> None:
+        """Register an additional per-connection RPC peer (MC/S)."""
+        rpc.set_handler(self.handle)
+        self.connections.append(rpc)
 
     def handle(self, message: Message) -> Generator:
         """RPC handler: dispatch one SCSI command to the backing volume."""

@@ -1,7 +1,9 @@
-"""NFS protocol stack: v2/v3/v4 client and server."""
+"""NFS protocol stack: v2/v3/v4 client and server, plus pNFS striping."""
 
 from . import protocol
 from .client import NfsClient
+from .pnfs import StripeLayout, StripedNfsClient
 from .server import NfsServer, ServerState
 
-__all__ = ["NfsClient", "NfsServer", "ServerState", "protocol"]
+__all__ = ["NfsClient", "NfsServer", "ServerState", "StripeLayout",
+           "StripedNfsClient", "protocol"]

@@ -1,0 +1,281 @@
+"""pNFS-style export striping: a deterministic file-to-server layout.
+
+The paper runs one NFS server; ROADMAP item 1 asks what happens when the
+same contrast is run against a *farm* of exports.  This module supplies
+the two pieces that turn ``nservers`` independent NFS servers into one
+striped namespace:
+
+* :class:`StripeLayout` — the layout function.  Whole-file layouts
+  (export sharding): every path has exactly one home data server,
+  computed as ``crc32(path) % nservers``.  CRC32 is process-stable —
+  unlike the builtin ``hash()`` it never varies with ``PYTHONHASHSEED``
+  — so the same file lands on the same server across runs, interpreter
+  restarts, and ``--jobs`` worker processes.  That determinism is a
+  tested contract (``tests/test_pnfs.py``).
+
+* :class:`StripedNfsClient` — the client-side facade.  It owns one
+  ordinary :class:`~repro.nfs.client.NfsClient` per data server and
+  routes every file operation to the file's home server, after a
+  one-time ``LAYOUTGET`` hop to the metadata server (server 0 by
+  convention) that grants and caches the layout — the pNFS control/data
+  separation in miniature.  Namespace mutations (``mkdir``/``rmdir``)
+  fan out to every server so the directory skeleton is mirrored;
+  ``readdir`` unions the per-server views back together.
+
+Semantics deliberately kept honest rather than complete:
+
+* a file's data and its directory entry live only on its home server;
+* ``rename`` is supported only when old and new names share a home
+  server (a cross-server rename would need a copy, which real pNFS
+  also does not do for free);
+* each per-server connection keeps its own attribute/page caches, as a
+  real ``nconnect``-per-export mount stack would.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .client import NfsClient
+from . import protocol as p
+
+__all__ = ["StripeLayout", "StripedNfsClient"]
+
+
+class StripeLayout:
+    """Deterministic whole-file layout: ``crc32(path) % nservers``."""
+
+    __slots__ = ("nservers",)
+
+    def __init__(self, nservers: int):
+        if nservers < 1:
+            raise ValueError("a stripe layout needs nservers >= 1 (got %d)"
+                             % (nservers,))
+        self.nservers = nservers
+
+    def server_for(self, path: str) -> int:
+        """The home data server of ``path`` (stable across processes)."""
+        return zlib.crc32(path.encode("utf-8")) % self.nservers
+
+    def __repr__(self) -> str:
+        return "StripeLayout(nservers=%d)" % (self.nservers,)
+
+
+class StripedNfsClient:
+    """One mount over ``nservers`` exports, routed by a stripe layout.
+
+    ``clients[s]`` must be an :class:`NfsClient` wired to data server
+    ``s``; ``clients[mds_index]`` doubles as the metadata server
+    connection that answers ``LAYOUTGET``.  All methods are coroutines
+    with the same shapes as ``NfsClient``'s, so workload code written
+    against one client runs unmodified against the striped farm.
+    """
+
+    def __init__(self, sim, clients: List[NfsClient],
+                 layout: Optional[StripeLayout] = None, mds_index: int = 0):
+        if not clients:
+            raise ValueError("a striped client needs at least one NfsClient")
+        self.sim = sim
+        self.clients = list(clients)
+        self.layout = layout if layout is not None else StripeLayout(
+            len(self.clients))
+        if self.layout.nservers != len(self.clients):
+            raise ValueError(
+                "layout covers %d servers but %d clients were wired"
+                % (self.layout.nservers, len(self.clients)))
+        self.mds_index = mds_index
+        # path -> granted home server; the one-RPC-per-first-touch cache.
+        self._layouts: Dict[str, int] = {}
+        self.layout_gets = 0
+        # facade fd -> (server index, inner fd)
+        self._fds: Dict[int, Tuple[int, int]] = {}
+        self._next_fd = 3
+
+    # -- layout plumbing -------------------------------------------------------
+
+    @property
+    def nservers(self) -> int:
+        return len(self.clients)
+
+    @property
+    def layouts_cached(self) -> int:
+        return len(self._layouts)
+
+    def _home(self, path: str) -> Generator:
+        """Coroutine: the home server of ``path``, granted by the MDS.
+
+        First touch costs one LAYOUTGET round trip to the metadata
+        server; the grant is cached for the life of the mount, exactly
+        like a held pNFS layout.
+        """
+        cached = self._layouts.get(path)
+        if cached is not None:
+            return cached
+        mds = self.clients[self.mds_index]
+        reply = yield from mds._call(p.LAYOUTGET, path=path)
+        self.layout_gets += 1
+        home = reply.body["server"]
+        self._layouts[path] = home
+        return home
+
+    def _at_home(self, path: str) -> Generator:
+        home = yield from self._home(path)
+        return self.clients[home]
+
+    # -- namespace ops: mirrored directory skeleton ----------------------------
+
+    def mkdir(self, path: str, mode: int = 0o755) -> Generator:
+        """Create ``path`` on every server (mirrored namespace)."""
+        result = None
+        for client in self.clients:
+            result = yield from client.mkdir(path, mode)
+        return result
+
+    def rmdir(self, path: str) -> Generator:
+        """Remove the (mirrored) directory from every server."""
+        result = None
+        for client in self.clients:
+            result = yield from client.rmdir(path)
+        return result
+
+    def readdir(self, path: str) -> Generator:
+        """Union of the per-server directory views, sorted."""
+        union = set()
+        for client in self.clients:
+            names = yield from client.readdir(path)
+            union.update(names)
+        return sorted(union)
+
+    # -- file ops: routed to the home server -----------------------------------
+
+    def creat(self, path: str, mode: int = 0o644) -> Generator:
+        """Create ``path`` on its home server; return a facade fd."""
+        client = yield from self._at_home(path)
+        inner = yield from client.creat(path, mode)
+        return self._wrap_fd(self._layouts[path], inner)
+
+    def open(self, path: str, flags: int = 0, mode: int = 0o644) -> Generator:
+        """Open ``path`` on its home server; return a facade fd."""
+        client = yield from self._at_home(path)
+        inner = yield from client.open(path, flags, mode)
+        return self._wrap_fd(self._layouts[path], inner)
+
+    def _wrap_fd(self, server: int, inner: int) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = (server, inner)
+        return fd
+
+    def _route_fd(self, fd: int) -> Tuple[NfsClient, int]:
+        try:
+            server, inner = self._fds[fd]
+        except KeyError:
+            raise OSError("bad striped file descriptor %d" % (fd,))
+        return self.clients[server], inner
+
+    def close(self, fd: int) -> Generator:
+        """Close the facade fd on its home server."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.close(inner)
+        del self._fds[fd]
+        return result
+
+    def read(self, fd: int, size: int) -> Generator:
+        """Read ``size`` bytes at the fd's cursor (home server)."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.read(inner, size)
+        return result
+
+    def write(self, fd: int, size: int) -> Generator:
+        """Write ``size`` bytes at the fd's cursor (home server)."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.write(inner, size)
+        return result
+
+    def pread(self, fd: int, size: int, offset: int) -> Generator:
+        """Positional read on the fd's home server."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.pread(inner, size, offset)
+        return result
+
+    def pwrite(self, fd: int, size: int, offset: int) -> Generator:
+        """Positional write on the fd's home server."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.pwrite(inner, size, offset)
+        return result
+
+    def fsync(self, fd: int) -> Generator:
+        """Flush the file's dirty pages to its home server."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.fsync(inner)
+        return result
+
+    def fstat(self, fd: int) -> Generator:
+        """Attributes of the open file, from its home server."""
+        client, inner = self._route_fd(fd)
+        result = yield from client.fstat(inner)
+        return result
+
+    def lseek(self, fd: int, offset: int) -> None:
+        """Move the inner fd's cursor (no wire traffic)."""
+        client, inner = self._route_fd(fd)
+        client.lseek(inner, offset)
+
+    def stat(self, path: str) -> Generator:
+        """Attributes of ``path``, from its home server."""
+        client = yield from self._at_home(path)
+        result = yield from client.stat(path)
+        return result
+
+    def access(self, path: str, want: int = 4) -> Generator:
+        """Permission probe against the home server."""
+        client = yield from self._at_home(path)
+        result = yield from client.access(path, want)
+        return result
+
+    def chmod(self, path: str, mode: int) -> Generator:
+        """Change mode on the home server."""
+        client = yield from self._at_home(path)
+        result = yield from client.chmod(path, mode)
+        return result
+
+    def truncate(self, path: str, size: int) -> Generator:
+        """Truncate the file on its home server."""
+        client = yield from self._at_home(path)
+        result = yield from client.truncate(path, size)
+        return result
+
+    def unlink(self, path: str) -> Generator:
+        """Remove the file from its home server; drop its layout."""
+        client = yield from self._at_home(path)
+        result = yield from client.unlink(path)
+        self._layouts.pop(path, None)
+        return result
+
+    def rename(self, old: str, new: str) -> Generator:
+        """Rename within one home server (cross-server raises)."""
+        old_home = yield from self._home(old)
+        new_home = yield from self._home(new)
+        if old_home != new_home:
+            raise ValueError(
+                "cross-server rename (%r on server %d -> %r on server %d) "
+                "needs a copy; striped renames must stay on one home server"
+                % (old, old_home, new, new_home))
+        result = yield from self.clients[old_home].rename(old, new)
+        self._layouts.pop(old, None)
+        return result
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def quiesce(self) -> Generator:
+        """Settle write-back on every per-server connection, in order."""
+        for client in self.clients:
+            yield from client.quiesce()
+        return None
+
+    def drop_caches(self) -> Generator:
+        """Invalidate client caches on every connection."""
+        for client in self.clients:
+            yield from client.drop_caches()
+        return None

@@ -45,6 +45,7 @@ CB_INVALIDATE = "CB_INVALIDATE"   # server -> client meta-data cache callback
 CB_RECALL = "CB_RECALL"           # server -> client directory-delegation recall
 DELEGUPDATE = "DELEGUPDATE"       # batched delegated meta-data updates
 FSSTAT = "FSSTAT"
+LAYOUTGET = "LAYOUTGET"  # pNFS-style layout grant from the metadata server
 
 ATTR_BYTES = 96      # fattr3-ish attribute structure
 FH_BYTES = 32        # file handle

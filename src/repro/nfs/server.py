@@ -71,6 +71,12 @@ class ServerState:
         self.callbacks_sent = 0
         self.delegations_granted = 0
         self.delegations_recalled = 0
+        # pNFS-style export striping (repro.nfs.pnfs): the layout function
+        # this server answers LAYOUTGET with when it acts as the metadata
+        # server.  None on a plain single-export server, which keeps every
+        # pre-existing configuration byte-identical.
+        self.layout = None
+        self.layouts_granted = 0
 
 
 class NfsServer:
@@ -128,6 +134,7 @@ class NfsServer:
             p.DELEGDIR: self._op_delegdir,
             p.DELEGUPDATE: self._op_delegupdate,
             p.FSSTAT: self._op_fsstat,
+            p.LAYOUTGET: self._op_layoutget,
         }
 
     # -- crash recovery (repro.faults) ----------------------------------------
@@ -409,6 +416,28 @@ class NfsServer:
         return 48, {
             "status": p.NfsStatus.OK,
             "free_blocks": self.fs.block_alloc.free_count,
+        }
+
+    def _op_layoutget(self, args: Dict) -> Generator:
+        """pNFS-style layout grant: which data server owns this path.
+
+        Whole-file layouts (export sharding): the metadata server answers
+        from its deterministic :class:`~repro.nfs.pnfs.StripeLayout`; a
+        server without one grants the degenerate single-export layout.
+        The hop reads the export root — the MDS touches its namespace
+        state before answering, so the grant costs a real server visit.
+        """
+        yield from self._inode(self.root_ino)
+        layout = self.state.layout
+        self.state.layouts_granted += 1
+        if layout is None:
+            return p.FH_BYTES + p.ATTR_BYTES, {
+                "status": p.NfsStatus.OK, "server": 0, "nservers": 1,
+            }
+        return p.FH_BYTES + p.ATTR_BYTES, {
+            "status": p.NfsStatus.OK,
+            "server": layout.server_for(args["path"]),
+            "nservers": layout.nservers,
         }
 
     # -- v4 statefulness ------------------------------------------------------------------

@@ -30,6 +30,8 @@ from .profile import Profile
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SCALE_SCHEMA_VERSION",
+    "compare_scale_documents",
     "WORKLOADS",
     "SUITES",
     "run_case",
@@ -45,6 +47,12 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+# The ``repro scale --farm`` document (``BENCH_scale.json``).  Schema 1
+# recorded wall-clock storm timings (machine-dependent); schema 2 is the
+# farm sweep, whose every field is simulated outcome and therefore
+# byte-comparable across hosts.
+SCALE_SCHEMA_VERSION = 2
 
 # How many ranked critical-path segments each case records.
 _PATH_LIMIT = 8
@@ -383,6 +391,39 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
     for case in sorted(set(new_cases) - set(old_cases)):
         notes.append("%s: new case (no baseline)" % case)
     return regressions, notes
+
+
+def compare_scale_documents(baseline: Dict[str, Any],
+                            current: Dict[str, Any]) -> List[str]:
+    """Diff two farm-scale documents; return the list of problems.
+
+    Every field of a farm point is deterministic simulated outcome, so
+    the comparison is *exact*: a schema change, a missing/new point, or
+    any drifted value is a problem.  An empty list means the documents
+    agree (derived ``series`` figures included, since they are pure
+    functions of the points).
+    """
+    problems: List[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        return ["schema: %r -> %r"
+                % (baseline.get("schema"), current.get("schema"))]
+    old_points = {point["id"]: point for point in baseline.get("points", ())}
+    new_points = {point["id"]: point for point in current.get("points", ())}
+    for point_id in sorted(old_points):
+        if point_id not in new_points:
+            problems.append("%s: missing from current" % point_id)
+            continue
+        old, new = old_points[point_id], new_points[point_id]
+        for key in sorted(set(old) | set(new)):
+            if old.get(key) != new.get(key):
+                problems.append("%s: %s %r -> %r"
+                                % (point_id, key, old.get(key),
+                                   new.get(key)))
+    for point_id in sorted(set(new_points) - set(old_points)):
+        problems.append("%s: not in baseline" % point_id)
+    if baseline.get("series") != current.get("series"):
+        problems.append("series: derived figures drifted")
+    return problems
 
 
 def format_compare(regressions: List[Dict[str, Any]],

@@ -582,7 +582,7 @@ class ShardedSimulator:
         return dict(self._ensure_executor().collect())
 
     def report(self) -> Dict[str, Any]:
-        """Synchronization statistics for ``BENCH_scale.json``."""
+        """Synchronization statistics for ``BENCH_storm.json``."""
         total = sum(self.records_by_shard)
         return {
             "shards": len(self.shards),
