@@ -18,6 +18,7 @@ checking (message counts, simulated times) lives in ``repro bench``.
 The machine-dependent baseline numbers double as the measured record of
 the kernel optimization's speedups.
 """
+# simlint: disable-file=D101 -- benchmark harness measures host runtime on purpose
 
 from __future__ import annotations
 

@@ -1,0 +1,194 @@
+"""SARIF 2.1.0 output for simlint (``repro lint --format sarif``).
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+code-scanning UIs ingest to annotate PRs inline.  :func:`format_sarif`
+emits a minimal, schema-valid 2.1.0 document — one run, one driver, the
+full rule catalog, one result per violation — with sorted keys so the
+artifact is byte-stable across identical runs.
+
+Because the container has no network (and no jsonschema dependency),
+:func:`validate_sarif` is an offline structural validator covering the
+parts of the 2.1.0 schema this tool exercises: required top-level
+fields, run/tool/driver shape, rule descriptors, and result locations.
+Tests assert our own output passes it, and that broken documents fail.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Union
+
+from .simlint import RULES, Violation
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "format_sarif",
+           "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_URI = "https://example.invalid/repro/simlint"
+
+
+def format_sarif(violations: Sequence[Violation]) -> str:
+    """The lint run as a SARIF 2.1.0 JSON document (byte-stable)."""
+    rule_ids = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": code,
+            "name": RULES[code].name,
+            "shortDescription": {"text": RULES[code].name},
+            "help": {"text": RULES[code].hint},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": violation.code,
+            "ruleIndex": rule_index[violation.code],
+            "level": "error",
+            "message": {
+                "text": "%s (hint: %s)" % (violation.message,
+                                           violation.hint),
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col + 1,
+                        },
+                    },
+                },
+            ],
+        }
+        for violation in violations
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            },
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _expect(problems: List[str], condition: bool, message: str) -> bool:
+    if not condition:
+        problems.append(message)
+    return condition
+
+
+def validate_sarif(document: Union[str, Dict[str, Any]]) -> List[str]:
+    """Structural 2.1.0 validation; returns problems ([] when valid)."""
+    problems: List[str] = []
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except ValueError as error:
+            return ["not JSON: %s" % error]
+    if not _expect(problems, isinstance(document, dict),
+                   "document must be a JSON object"):
+        return problems
+    _expect(problems, document.get("version") == SARIF_VERSION,
+            "version must be %r" % SARIF_VERSION)
+    runs = document.get("runs")
+    if not _expect(problems, isinstance(runs, list) and runs,
+                   "runs must be a non-empty array"):
+        return problems
+    for i, run in enumerate(runs):
+        where = "runs[%d]" % i
+        if not _expect(problems, isinstance(run, dict),
+                       "%s must be an object" % where):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not _expect(problems, isinstance(driver, dict),
+                       "%s.tool.driver is required" % where):
+            continue
+        _expect(problems,
+                isinstance(driver.get("name"), str) and driver["name"],
+                "%s.tool.driver.name must be a non-empty string" % where)
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        if _expect(problems, isinstance(rules, list),
+                   "%s.tool.driver.rules must be an array" % where):
+            for j, rule in enumerate(rules):
+                rwhere = "%s.tool.driver.rules[%d]" % (where, j)
+                if _expect(problems, isinstance(rule, dict)
+                           and isinstance(rule.get("id"), str),
+                           "%s.id must be a string" % rwhere):
+                    rule_ids.append(rule["id"])
+        results = run.get("results", [])
+        if not _expect(problems, isinstance(results, list),
+                       "%s.results must be an array" % where):
+            continue
+        for j, result in enumerate(results):
+            _validate_result(problems, result,
+                             "%s.results[%d]" % (where, j), rule_ids)
+    return problems
+
+
+def _validate_result(problems: List[str], result: Any, where: str,
+                     rule_ids: List[str]) -> None:
+    if not _expect(problems, isinstance(result, dict),
+                   "%s must be an object" % where):
+        return
+    message = result.get("message")
+    _expect(problems, isinstance(message, dict)
+            and isinstance(message.get("text"), str),
+            "%s.message.text is required" % where)
+    rule_id = result.get("ruleId")
+    if rule_id is not None:
+        _expect(problems, rule_id in rule_ids,
+                "%s.ruleId %r not in driver.rules" % (where, rule_id))
+    index = result.get("ruleIndex")
+    if index is not None:
+        _expect(problems,
+                isinstance(index, int) and 0 <= index < len(rule_ids)
+                and (rule_id is None or rule_ids[index] == rule_id),
+                "%s.ruleIndex %r inconsistent with ruleId" % (where, index))
+    for k, location in enumerate(result.get("locations", []) or []):
+        lwhere = "%s.locations[%d]" % (where, k)
+        if not _expect(problems, isinstance(location, dict),
+                       "%s must be an object" % lwhere):
+            continue
+        physical = location.get("physicalLocation")
+        if physical is None:
+            continue
+        if not _expect(problems, isinstance(physical, dict),
+                       "%s.physicalLocation must be an object" % lwhere):
+            continue
+        artifact = physical.get("artifactLocation")
+        if artifact is not None:
+            _expect(problems, isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str),
+                    "%s...artifactLocation.uri must be a string" % lwhere)
+        region = physical.get("region")
+        if region is not None and _expect(
+                problems, isinstance(region, dict),
+                "%s...region must be an object" % lwhere):
+            for field in ("startLine", "startColumn",
+                          "endLine", "endColumn"):
+                value = region.get(field)
+                if value is not None:
+                    _expect(problems,
+                            isinstance(value, int) and value >= 1,
+                            "%s...region.%s must be an int >= 1"
+                            % (lwhere, field))

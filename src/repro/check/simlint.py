@@ -16,6 +16,24 @@ Rule families
   generator-coroutine protocol of :mod:`repro.sim`.
 * **O-rules** — observability discipline: tracer hooks that bypass the
   zero-cost ``NULL_TRACER`` pattern and would perturb untraced timing.
+* **S-rules** — shard safety: the static twin of the S4xx runtime
+  sanitizers; cross-shard effects that bypass ``ShardedTransport``,
+  delays that can land below a shard pair's conservative lookahead, and
+  merge keys that drop the ``(when, src_shard, src_seq)`` tie-breakers.
+* **M-rules** — protocol state-machines: declarative op-order specs
+  (:mod:`repro.check.statemachine`) checked against the MC/S CmdSN
+  scheduler, the pNFS layout router, and the NFS replay-semantics table.
+
+Whole-program mode
+------------------
+:func:`lint_paths` builds a cross-module symbol graph
+(:mod:`repro.check.graph`) over the whole lint run and layers three
+interprocedural passes (:mod:`repro.check.dataflow`) on top of the
+per-file scan: D101/D102 taint that flows through helper functions into
+sim-visible sinks, O301–O303 guard inference across function boundaries
+(a helper whose every call site is guarded is clean), and S503 named
+sort keys resolved in other modules.  :func:`lint_source` stays the
+fast single-buffer entry point.
 
 Suppression
 -----------
@@ -41,10 +59,14 @@ __all__ = [
     "Rule",
     "RULES",
     "Violation",
+    "Suppression",
     "lint_source",
     "lint_paths",
+    "lint_program",
+    "collect_suppressions",
     "format_text",
     "format_json",
+    "format_debt",
 ]
 
 
@@ -79,6 +101,24 @@ _RULE_LIST = (
     Rule("O303", "unguarded-recorder-hook",
          "guard flight-recorder hooks with `if recorder is not None:` "
          "(opt-in layer)"),
+    Rule("S501", "cross-shard-direct-access",
+         "route cross-shard effects through ShardedTransport/Shard.post(); "
+         "never touch another shard's calendar or ports directly"),
+    Rule("S502", "post-below-lookahead",
+         "derive the cross-shard delay from the link latency/lookahead "
+         "so it cannot land below the pair's conservative horizon"),
+    Rule("S503", "nondeterministic-merge-key",
+         "merge shard messages by (when, src_shard, src_seq); a bare "
+         ".when key makes equal-time order executor-dependent"),
+    Rule("M601", "cmdsn-discipline",
+         "keep CmdSN allocation monotonic (issue order, before the first "
+         "yield) and completion in-order behind the _next_done gate"),
+    Rule("M602", "layout-before-io",
+         "resolve the pNFS layout (_home/_at_home/_route_fd) before "
+         "touching a self.clients connection"),
+    Rule("M603", "replay-table-coverage",
+         "keep one try/except handler per replay-semantics table row "
+         "(EEXIST on replayed CREATE/MKDIR, ENOENT on REMOVE/RMDIR/RENAME)"),
 )
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
@@ -146,8 +186,45 @@ _TELEM_HOOKS = frozenset({"count", "observe"})
 # None, so every hook must sit under an `if recorder is not None:` check.
 _RECORDER_HOOKS = frozenset({"note_event", "note_message", "dump"})
 
+# S501: shard-internal state that only the owning shard may mutate.
+# Reaching it through a subscript of a shard collection (`shards[i]`)
+# is the static shape of a cross-shard write bypassing ShardedTransport.
+_SHARD_INTERNAL = frozenset({
+    "sim", "outbox", "ports", "pending", "inbox", "calendar",
+})
+_SHARD_MUTATORS = frozenset({
+    "schedule_at", "schedule", "append", "extend", "add", "insert",
+    "push", "update", "setdefault", "pop", "remove", "clear",
+})
+# The sharded kernel itself owns this state and is exempt from S501.
+_SHARD_KERNEL_MODULE = "repro.sim.shard"
+
+# S502: names that tie a cross-shard delay to the link's conservative
+# horizon; a delay expression mentioning none of these (or a bare
+# literal) can land below the pair's lookahead.
+_DELAY_SOURCES = ("delay", "latency", "lookahead", "rtt")
+
 _DISABLE_LINE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+)")
+_CODE_TOKEN = re.compile(r"^(?:[A-Z]\d{3}|all)$")
+
+
+def _codes_in(blob: str) -> Set[str]:
+    """The leading rule codes of a disable comment's value.
+
+    The value may be followed by a free-text reason on the same comment
+    (``# simlint: disable=D101 -- wall progress meter``); only tokens
+    shaped like codes (or ``all``) count.
+    """
+    codes: Set[str] = set()
+    for token in re.split(r"[,\s]+", blob.strip()):
+        if not token:
+            continue
+        if _CODE_TOKEN.match(token):
+            codes.add(token)
+        else:
+            break  # the reason starts here
+    return codes
 
 
 def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
@@ -157,12 +234,11 @@ def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _DISABLE_LINE.search(line)
         if match:
-            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
-            by_line.setdefault(lineno, set()).update(codes)
+            by_line.setdefault(lineno, set()).update(
+                _codes_in(match.group(1)))
         match = _DISABLE_FILE.search(line)
         if match:
-            file_wide.update(
-                c.strip() for c in match.group(1).split(",") if c.strip())
+            file_wide.update(_codes_in(match.group(1)))
     return by_line, file_wide
 
 
@@ -191,6 +267,161 @@ def _is_unordered(expr: ast.AST) -> bool:
             and expr.func.id in ("set", "frozenset")):
         return True
     return False
+
+
+_ORDER_WRAPPERS = ("list", "tuple", "enumerate", "reversed")
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+# Consumers whose result does not depend on iteration order: a
+# comprehension fed straight into one of these is deterministic even
+# when it iterates a set.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "len", "any", "all", "max", "min",
+})
+
+
+def _unwrap_order(expr: ast.AST) -> ast.AST:
+    """Strip order-preserving wrappers (list/tuple/enumerate/reversed)."""
+    while (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+           and expr.func.id in _ORDER_WRAPPERS and expr.args):
+        expr = expr.args[0]
+    return expr
+
+
+def _own_scope_stmts(scope: ast.AST) -> Iterable[ast.stmt]:
+    """Statements of one scope in source order, skipping nested defs."""
+    for field in ("body", "orelse", "finalbody"):
+        for stmt in getattr(scope, field, ()):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield stmt
+            yield from _own_scope_stmts(stmt)
+    for handler in getattr(scope, "handlers", ()):
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield stmt
+            yield from _own_scope_stmts(stmt)
+
+
+def _own_stmt_exprs(stmt: ast.stmt) -> Iterable[ast.AST]:
+    """Expression subtrees attached to this statement itself (nested
+    statements are visited separately by :func:`_own_scope_stmts`)."""
+    for _field, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield from ast.walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield from ast.walk(item)
+                elif isinstance(item, ast.withitem):
+                    yield from ast.walk(item.context_expr)
+
+
+def _laundered_reason(expr: ast.AST, set_names: Set[str],
+                      dict_names: Set[str]) -> Optional[str]:
+    """Why iterating ``expr`` is unordered, given tracked locals."""
+    expr = _unwrap_order(expr)
+    if isinstance(expr, ast.Name):
+        if expr.id in set_names:
+            return ("iterating %r, a set laundered through a local; "
+                    "visit order is nondeterministic" % expr.id)
+        if expr.id in dict_names:
+            return ("iterating dict %r built from a set; key order is "
+                    "the set's nondeterministic order" % expr.id)
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _DICT_VIEWS
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id in dict_names):
+        return ("iterating .%s() of dict %r built from a set; order is "
+                "the set's nondeterministic order"
+                % (expr.func.attr, expr.func.value.id))
+    return None
+
+
+def _launder_apply(stmt: ast.stmt, set_names: Set[str],
+                   dict_names: Set[str]) -> None:
+    """Track which locals hold set-ordered data after ``stmt`` runs."""
+    if isinstance(stmt, ast.Assign):
+        targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+        value = stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name):
+        targets = [stmt.target]
+        value = stmt.value
+    else:
+        return
+    if not targets or value is None:
+        return
+    unwrapped = _unwrap_order(value)
+    is_set = _is_unordered(value) or (
+        isinstance(unwrapped, ast.Name) and unwrapped.id in set_names)
+    is_dict_from_set = False
+    if isinstance(value, ast.DictComp) and value.generators:
+        first = _unwrap_order(value.generators[0].iter)
+        is_dict_from_set = _is_unordered(value.generators[0].iter) or (
+            isinstance(first, ast.Name) and first.id in set_names)
+    elif (isinstance(value, ast.Call)
+            and _dotted(value.func) == "dict.fromkeys" and value.args):
+        arg = _unwrap_order(value.args[0])
+        is_dict_from_set = _is_unordered(value.args[0]) or (
+            isinstance(arg, ast.Name) and arg.id in set_names)
+    elif isinstance(value, ast.Name) and value.id in dict_names:
+        is_dict_from_set = True
+    for target in targets:
+        set_names.discard(target.id)
+        dict_names.discard(target.id)
+        if is_set:
+            set_names.add(target.id)
+        elif is_dict_from_set:
+            dict_names.add(target.id)
+
+
+def _check_laundering(tree: ast.Module, path: str) -> List["Violation"]:
+    """D103 through locals: ``s = set(...); for x in s`` and friends.
+
+    A linear forward pass per scope tracks which locals hold a set (or a
+    list copied from one, or a dict keyed by one) and flags iteration
+    over them — the cases the purely syntactic check misses.
+    """
+    out: List[Violation] = []
+    scopes: List[ast.AST] = [tree]
+    scopes.extend(node for node in ast.walk(tree)
+                  if isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)))
+    for scope in scopes:
+        set_names: Set[str] = set()
+        dict_names: Set[str] = set()
+        for stmt in _own_scope_stmts(scope):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                reason = _laundered_reason(stmt.iter, set_names, dict_names)
+                if reason is not None:
+                    out.append(Violation(
+                        path=path, line=stmt.iter.lineno,
+                        col=stmt.iter.col_offset, code="D103",
+                        message=reason))
+            insensitive: Set[int] = set()
+            for node in _own_stmt_exprs(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in _ORDER_INSENSITIVE):
+                    insensitive.update(id(arg) for arg in node.args)
+            for node in _own_stmt_exprs(stmt):
+                if (isinstance(node, (ast.ListComp, ast.SetComp,
+                                      ast.DictComp, ast.GeneratorExp))
+                        and id(node) not in insensitive):
+                    for comp in node.generators:
+                        reason = _laundered_reason(
+                            comp.iter, set_names, dict_names)
+                        if reason is not None:
+                            out.append(Violation(
+                                path=path, line=comp.iter.lineno,
+                                col=comp.iter.col_offset, code="D103",
+                                message=reason))
+            _launder_apply(stmt, set_names, dict_names)
+    return out
 
 
 def _mentions_now(expr: ast.AST) -> bool:
@@ -260,6 +491,69 @@ def _mentions_recorder(test: ast.expr) -> bool:
     return False
 
 
+def _receiver_name(value: ast.AST) -> Optional[str]:
+    """The rightmost name of a call receiver (unwrapping a call chain)."""
+    if isinstance(value, ast.Call):
+        value = value.func
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _shard_internal_access(func: ast.Attribute) -> Optional[Tuple[str, str]]:
+    """``(collection, attr)`` when a call reaches shard-internal state.
+
+    Matches the S501 shape: a subscript of a shard-ish collection
+    (``shards[i]``/``self.shards[dst]``) followed by one of the
+    :data:`_SHARD_INTERNAL` attributes — another shard's calendar,
+    ports, or outbox reached without going through the transport.
+    """
+    attrs: List[str] = []
+    node = func.value
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Subscript):
+        return None
+    name = _receiver_name(node.value)
+    if name is None or "shard" not in name.lower():
+        return None
+    internal = _SHARD_INTERNAL.intersection(attrs)
+    if not internal:
+        return None
+    return name, sorted(internal)[0]
+
+
+def _mentions_delay_source(expr: ast.AST) -> bool:
+    """True when a delay expression ties itself to the link horizon."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute):
+            name = node.attr.lower()
+        elif isinstance(node, ast.Name):
+            name = node.id.lower()
+        else:
+            continue
+        if any(source in name for source in _DELAY_SOURCES):
+            return True
+    return False
+
+
+def _lambda_key_fields(lam: ast.Lambda) -> Optional[frozenset]:
+    """Attribute names a lambda sort key reads off its parameter."""
+    if not lam.args.args:
+        return None
+    param = lam.args.args[0].arg
+    fields = set()
+    for node in ast.walk(lam.body):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == param):
+            fields.add(node.attr)
+    return frozenset(fields)
+
+
 def _try_releases(try_node: ast.Try) -> bool:
     """True when the try's finalbody calls ``.release()`` on something."""
     for stmt in try_node.finalbody:
@@ -274,8 +568,10 @@ def _try_releases(try_node: ast.Try) -> bool:
 class _Linter(ast.NodeVisitor):
     """Single-pass visitor; collects Violation records in ``found``."""
 
-    def __init__(self, path: str, tree: ast.Module):
+    def __init__(self, path: str, tree: ast.Module,
+                 module: Optional[str] = None):
         self.path = path
+        self.module = module
         self.found: List[Violation] = []
         # Parent links for ancestor queries (guards, try/finally shape).
         self.parents: Dict[ast.AST, ast.AST] = {}
@@ -379,6 +675,65 @@ class _Linter(ast.NodeVisitor):
                     "%s() given %s(), which never yields and so is "
                     "not a process" % (node.func.attr, first.func.id))
 
+        # S501: another shard's internal state mutated directly.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SHARD_MUTATORS
+                and self.module != _SHARD_KERNEL_MODULE):
+            access = _shard_internal_access(node.func)
+            if access is not None:
+                collection, internal = access
+                self._report(
+                    node, "S501",
+                    "%s[...].%s.%s() mutates shard-internal state across "
+                    "the shard boundary, bypassing ShardedTransport"
+                    % (collection, internal, node.func.attr))
+
+        # S502: cross-shard post whose delay ignores the lookahead.
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "post"):
+            receiver = _receiver_name(node.func.value)
+            delay = None
+            if len(node.args) >= 4:
+                delay = node.args[3]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "delay":
+                        delay = keyword.value
+            if (receiver is not None and "shard" in receiver.lower()
+                    and delay is not None):
+                if (isinstance(delay, ast.Constant)
+                        and isinstance(delay.value, (int, float))
+                        and not isinstance(delay.value, bool)):
+                    self._report(
+                        node, "S502",
+                        "cross-shard post with literal delay %r can land "
+                        "below the shard pair's lookahead" % (delay.value,))
+                elif not _mentions_delay_source(delay):
+                    self._report(
+                        node, "S502",
+                        "cross-shard post delay is not derived from the "
+                        "link latency/lookahead")
+
+        # S503: a sort key on shard messages that drops the tie-breakers.
+        is_sort = (isinstance(node.func, ast.Attribute)
+                   and node.func.attr == "sort")
+        is_sorted = (isinstance(node.func, ast.Name)
+                     and node.func.id == "sorted")
+        if is_sort or is_sorted:
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                if not isinstance(keyword.value, ast.Lambda):
+                    continue  # named keys: the whole-program pass
+                fields = _lambda_key_fields(keyword.value)
+                if (fields and "when" in fields
+                        and not any("seq" in field for field in fields)):
+                    self._report(
+                        node, "S503",
+                        "sort key orders messages by .when without a "
+                        "sequence tie-breaker; equal-time merge order is "
+                        "executor-dependent")
+
         # O301: tracer hooks outside the `.enabled` guard.
         if (isinstance(node.func, ast.Attribute)
                 and node.func.attr in _TRACER_HOOKS
@@ -442,11 +797,24 @@ class _Linter(ast.NodeVisitor):
                          "nondeterministic")
         self.generic_visit(node)
 
+    def _order_insensitive_context(self, node) -> bool:
+        """True when the comprehension feeds sorted()/set()/len()/...
+
+        The consumer's result is independent of visit order, so the
+        unordered iteration cannot leak into observable state.
+        """
+        parent = self.parents.get(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE
+                and node in parent.args)
+
     def _check_comprehension(self, node) -> None:
-        for comp in node.generators:
-            if _is_unordered(comp.iter):
-                self._report(comp.iter, "D103",
-                             "comprehension iterates an unordered set")
+        if not self._order_insensitive_context(node):
+            for comp in node.generators:
+                if _is_unordered(comp.iter):
+                    self._report(comp.iter, "D103",
+                                 "comprehension iterates an unordered set")
         self.generic_visit(node)
 
     visit_ListComp = _check_comprehension
@@ -510,20 +878,46 @@ class _Linter(ast.NodeVisitor):
 # -- public API ---------------------------------------------------------------
 
 
-def lint_source(source: str, path: str = "<string>") -> List[Violation]:
-    """Lint one source buffer; returns suppression-filtered violations."""
-    tree = ast.parse(source, filename=path)
-    linter = _Linter(path, tree)
+def _collect(tree: ast.Module, path: str,
+             module: Optional[str] = None) -> List[Violation]:
+    """All unsuppressed per-file findings for one parsed buffer."""
+    linter = _Linter(path, tree, module=module)
     linter.visit(tree)
-    by_line, file_wide = _parse_suppressions(source)
+    found = list(linter.found)
+    found.extend(_check_laundering(tree, path))
+    if module is not None:
+        from . import statemachine
+
+        found.extend(statemachine.check_module(tree, path, module))
+    return found
+
+
+def _filter_suppressed(violations: Iterable[Violation],
+                       by_line: Dict[int, Set[str]],
+                       file_wide: Set[str]) -> List[Violation]:
     out = []
-    for violation in linter.found:
+    for violation in violations:
         if violation.code in file_wide or "all" in file_wide:
             continue
         line_codes = by_line.get(violation.line, ())
         if violation.code in line_codes or "all" in line_codes:
             continue
         out.append(violation)
+    return out
+
+
+def lint_source(source: str, path: str = "<string>",
+                module: Optional[str] = None) -> List[Violation]:
+    """Lint one source buffer; returns suppression-filtered violations.
+
+    ``module`` is the dotted module name, when known: it scopes the
+    M6xx protocol state-machine specs (which only fire for their target
+    modules) and the S501 kernel exemption.
+    """
+    tree = ast.parse(source, filename=path)
+    by_line, file_wide = _parse_suppressions(source)
+    out = _filter_suppressed(_collect(tree, path, module), by_line,
+                             file_wide)
     out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return out
 
@@ -544,13 +938,78 @@ def _iter_py_files(paths: Sequence[str]) -> List[str]:
     return files
 
 
-def lint_paths(paths: Sequence[str]) -> List[Violation]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
-    out: List[Violation] = []
+def lint_paths(paths: Sequence[str],
+               program: bool = True) -> List[Violation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    By default the whole-program passes run on top of the per-file scan
+    (``program=False`` restores the v1 per-file-only behaviour, used by
+    the autofixer between passes).
+    """
+    files: List[str] = []
+    seen: Set[str] = set()
     for filename in _iter_py_files(paths):
+        resolved = os.path.abspath(filename)
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        files.append(filename)
+    if program:
+        return lint_program(files)
+    from .graph import module_name_for
+
+    out: List[Violation] = []
+    for filename in files:
         with open(filename, encoding="utf-8") as handle:
             source = handle.read()
-        out.extend(lint_source(source, path=filename))
+        out.extend(lint_source(source, path=filename,
+                               module=module_name_for(filename)))
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out
+
+
+def lint_program(files: Sequence[str]) -> List[Violation]:
+    """Whole-program lint: per-file scan + graph-based passes.
+
+    Pipeline: build the symbol graph once; run the per-file rules (with
+    module names, so the M6xx specs fire); drop O3xx findings whose
+    enclosing helper is guarded at every call site; add interprocedural
+    D101/D102 taint flows and cross-module S503 sort keys; then apply
+    each file's suppression comments to the merged result.
+    """
+    from . import dataflow
+    from .graph import build_program
+
+    graph = build_program(files)
+    violations: List[Violation] = []
+    seen_modules: Set[str] = set()
+    for name in graph.order:
+        if name in seen_modules:
+            continue
+        seen_modules.add(name)
+        module = graph.modules[name]
+        violations.extend(_collect(module.tree, module.path, module.name))
+    violations = dataflow.drop_guarded_hook_violations(graph, violations)
+    summaries = dataflow.compute_return_taints(graph)
+    violations.extend(dataflow.find_taint_flows(graph, summaries))
+    violations.extend(dataflow.find_sort_key_hazards(graph))
+
+    suppressions = {
+        module.path: _parse_suppressions(module.source)
+        for module in graph.modules.values()
+    }
+    out: List[Violation] = []
+    emitted: Set[Violation] = set()
+    for violation in violations:
+        parsed = suppressions.get(violation.path)
+        if parsed is not None:
+            kept = _filter_suppressed([violation], parsed[0], parsed[1])
+            if not kept:
+                continue
+        if violation in emitted:
+            continue
+        emitted.add(violation)
+        out.append(violation)
     out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return out
 
@@ -566,6 +1025,87 @@ def format_text(violations: Sequence[Violation]) -> str:
     ]
     lines.append("simlint: %d violation%s"
                  % (len(violations), "" if len(violations) == 1 else "s"))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# simlint: disable`` comment found in the tree."""
+
+    path: str
+    line: int
+    scope: str            # "line" or "file"
+    codes: Tuple[str, ...]
+    reason: str           # "" when the comment carries no justification
+
+
+def _split_codes_reason(blob: str, tail: str) -> Tuple[Tuple[str, ...], str]:
+    """Leading code tokens, then everything else as the human reason."""
+    words = [w for w in re.split(r"[,\s]+", blob.strip()) if w]
+    codes: List[str] = []
+    rest: List[str] = []
+    for word in words:
+        if not rest and _CODE_TOKEN.match(word):
+            codes.append(word)
+        else:
+            rest.append(word)
+    reason = " ".join(rest + ([tail.strip()] if tail.strip() else []))
+    return tuple(codes), reason.strip(" \t-:;")
+
+
+def collect_suppressions(paths: Sequence[str]) -> List[Suppression]:
+    """Every real suppression comment under ``paths``.
+
+    Uses :mod:`tokenize` rather than a line regex so magic comments
+    inside string literals (lint-test fixtures) are not counted as
+    live suppressions.
+    """
+    import io
+    import tokenize
+
+    out: List[Suppression] = []
+    for filename in _iter_py_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(source).readline))
+        except tokenize.TokenError:
+            continue
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            for scope, pattern in (("file", _DISABLE_FILE),
+                                   ("line", _DISABLE_LINE)):
+                match = pattern.search(token.string)
+                if match is None:
+                    continue
+                codes, reason = _split_codes_reason(
+                    match.group(1), token.string[match.end():])
+                out.append(Suppression(
+                    path=filename, line=token.start[0], scope=scope,
+                    codes=codes, reason=reason))
+                break  # disable-file also matches nothing in _DISABLE_LINE
+    out.sort(key=lambda s: (s.path, s.line))
+    return out
+
+
+def format_debt(suppressions: Sequence[Suppression]) -> str:
+    """The ``repro lint --debt`` report: every suppression + reason."""
+    if not suppressions:
+        return "simlint debt: no suppressions"
+    lines = []
+    missing = 0
+    for sup in suppressions:
+        reason = sup.reason or "NO REASON"
+        if not sup.reason:
+            missing += 1
+        lines.append("%s:%d: [%s] %s — %s"
+                     % (sup.path, sup.line, sup.scope,
+                        ",".join(sup.codes) or "?", reason))
+    lines.append("simlint debt: %d suppression%s (%d without a reason)"
+                 % (len(suppressions),
+                    "" if len(suppressions) == 1 else "s", missing))
     return "\n".join(lines)
 
 

@@ -1,0 +1,364 @@
+"""M6xx: declarative protocol state-machine specs checked against code.
+
+The scale-out arc added two protocol invariants that simsan can only
+catch *after* a broken run, and one replay-semantics table that nothing
+checked at all.  This module states each as a small declarative spec and
+verifies the handler code still implements it, so a refactor that breaks
+the protocol machine fails ``repro lint`` before anything runs:
+
+* **M601 — iSCSI CmdSN discipline** (``repro.iscsi.mcs``): command
+  sequence numbers are allocated monotonically (``self._cmdsn`` only
+  ever increments), allocation happens before the first ``yield`` in
+  ``call`` (ordering is by issue, not completion), the completion
+  cursor ``_next_done`` can only advance (``max(...)`` or the reset
+  jump to ``_cmdsn``), and ``call`` parks out-of-order completions on a
+  gate guarded by a ``_next_done`` comparison.
+
+* **M602 — pNFS layout-before-I/O** (``repro.nfs.pnfs``): every routed
+  file operation on :class:`StripedNfsClient` must obtain its data
+  server through the LAYOUTGET path (``_home``/``_at_home``) or the fd
+  table (``_route_fd``) before talking to a ``self.clients[...]``
+  connection; only the declared mirrored-namespace ops may fan out
+  directly.
+
+* **M603 — NFS replay-semantics coverage** (``repro.nfs.client``): the
+  Linux-style replay table — EEXIST absorbed on replayed CREATE/MKDIR,
+  ENOENT absorbed on replayed REMOVE/RMDIR/RENAME — must keep one
+  handler per row: a ``try`` issuing the op with an ``except`` for the
+  mapped error class that consults the reply's ``replayed`` flag.
+
+Specs fire only for their target module (matched on the dotted module
+name), so fixture code and unrelated files are never checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["check_module", "MACHINE_MODULES"]
+
+
+# -- M601: CmdSN allocation and in-order completion ---------------------------
+
+_MCS_MODULE = "repro.iscsi.mcs"
+_MCS_CLASS = "McsSession"
+_MCS_COUNTER = "_cmdsn"
+_MCS_CURSOR = "_next_done"
+_MCS_ISSUE_METHOD = "call"
+_MCS_RESET_METHODS = ("reset",)
+
+# -- M602: LAYOUTGET before striped I/O ---------------------------------------
+
+_PNFS_MODULE = "repro.nfs.pnfs"
+_PNFS_CLASS = "StripedNfsClient"
+_PNFS_CLIENTS_ATTR = "clients"
+_PNFS_ROUTERS = ("_home", "_at_home", "_route_fd")
+# Namespace ops that legitimately fan out to every server.
+_PNFS_MIRRORED = ("mkdir", "rmdir", "readdir", "quiesce", "drop_caches")
+# Internal plumbing: the routers themselves plus construction.
+_PNFS_INTERNAL = ("__init__", "_home", "_at_home", "_route_fd", "_wrap_fd")
+
+# -- M603: replay-semantics table ---------------------------------------------
+
+_REPLAY_MODULE = "repro.nfs.client"
+# op constant (repro.nfs.protocol name) -> error class absorbed on replay
+_REPLAY_TABLE = (
+    ("CREATE", "FileExists"),
+    ("MKDIR", "FileExists"),
+    ("REMOVE", "FileNotFound"),
+    ("RMDIR", "FileNotFound"),
+    ("RENAME", "FileNotFound"),
+)
+
+MACHINE_MODULES = (_MCS_MODULE, _PNFS_MODULE, _REPLAY_MODULE)
+
+
+def _violation(path: str, node: Optional[ast.AST], code: str, message: str):
+    from .simlint import Violation
+
+    return Violation(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        message=message,
+    )
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {stmt.name: stmt for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)}
+
+
+def _self_attr(node: ast.AST, attr: str) -> bool:
+    return (isinstance(node, ast.Attribute) and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _mentions_self_attr(tree: ast.AST, attr: str) -> bool:
+    return any(_self_attr(node, attr) for node in ast.walk(tree))
+
+
+# -- M601 ---------------------------------------------------------------------
+
+
+def _check_mcs(tree: ast.Module, path: str) -> List:
+    out: List = []
+    cls = _find_class(tree, _MCS_CLASS)
+    if cls is None:
+        out.append(_violation(
+            path, tree.body[0] if tree.body else None, "M601",
+            "protocol spec target class %s missing from %s"
+            % (_MCS_CLASS, _MCS_MODULE)))
+        return out
+    methods = _methods(cls)
+
+    for method in methods.values():
+        out.extend(_check_mcs_counter_writes(method, path))
+        out.extend(_check_mcs_cursor_writes(method, path))
+
+    issue = methods.get(_MCS_ISSUE_METHOD)
+    if issue is None:
+        out.append(_violation(
+            path, cls, "M601",
+            "%s.%s() missing: the spec's issue path has no home"
+            % (_MCS_CLASS, _MCS_ISSUE_METHOD)))
+        return out
+
+    # Allocation (a read of self._cmdsn) must precede the first yield:
+    # CmdSN order is issue order, not completion order.
+    first_yield = None
+    alloc_line = None
+    for node in ast.walk(issue):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if first_yield is None or node.lineno < first_yield:
+                first_yield = node.lineno
+        if _self_attr(node, _MCS_COUNTER):
+            if alloc_line is None or node.lineno < alloc_line:
+                alloc_line = node.lineno
+    if alloc_line is None or (first_yield is not None
+                              and alloc_line > first_yield):
+        out.append(_violation(
+            path, issue, "M601",
+            "%s() must allocate %s before its first yield so CmdSN "
+            "order is issue order" % (_MCS_ISSUE_METHOD, _MCS_COUNTER)))
+
+    # The in-order gate: an `if` comparing against the cursor whose
+    # body parks (yields) until earlier commands release it.
+    gated = False
+    for node in ast.walk(issue):
+        if isinstance(node, ast.If) and _mentions_self_attr(
+                node.test, _MCS_CURSOR):
+            if any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+                   for branch in (node.body,) for stmt in branch
+                   for sub in ast.walk(stmt)):
+                gated = True
+                break
+    if not gated:
+        out.append(_violation(
+            path, issue, "M601",
+            "%s() has no in-order completion gate: out-of-order "
+            "responses must park on an `if ... %s` guarded event"
+            % (_MCS_ISSUE_METHOD, _MCS_CURSOR)))
+    return out
+
+
+def _check_mcs_counter_writes(method: ast.FunctionDef, path: str) -> List:
+    """self._cmdsn may only be zeroed in __init__ or incremented."""
+    out: List = []
+    for node in ast.walk(method):
+        if isinstance(node, ast.AugAssign) and _self_attr(
+                node.target, _MCS_COUNTER):
+            positive = (isinstance(node.op, ast.Add)
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, (int, float))
+                        and node.value.value > 0)
+            if not positive:
+                out.append(_violation(
+                    path, node, "M601",
+                    "%s must grow by a positive constant; any other "
+                    "update can reuse or reorder CmdSNs" % _MCS_COUNTER))
+        elif isinstance(node, ast.Assign) and any(
+                _self_attr(target, _MCS_COUNTER) for target in node.targets):
+            zero_init = (method.name == "__init__"
+                         and isinstance(node.value, ast.Constant)
+                         and node.value.value == 0)
+            if not zero_init:
+                out.append(_violation(
+                    path, node, "M601",
+                    "%s reassigned outside __init__: CmdSN allocation "
+                    "must be monotonic" % _MCS_COUNTER))
+    return out
+
+
+def _check_mcs_cursor_writes(method: ast.FunctionDef, path: str) -> List:
+    """_next_done may only advance: max(...) form, or the reset jump."""
+    out: List = []
+    for node in ast.walk(method):
+        if not (isinstance(node, ast.Assign) and any(
+                _self_attr(target, _MCS_CURSOR) for target in node.targets)):
+            continue
+        value = node.value
+        if method.name == "__init__" and isinstance(
+                value, ast.Constant) and value.value == 0:
+            continue
+        is_max = (isinstance(value, ast.Call)
+                  and isinstance(value.func, ast.Name)
+                  and value.func.id == "max"
+                  and any(_self_attr(arg, _MCS_CURSOR)
+                          for arg in value.args))
+        is_reset_jump = (method.name in _MCS_RESET_METHODS
+                         and _self_attr(value, _MCS_COUNTER))
+        if not (is_max or is_reset_jump):
+            out.append(_violation(
+                path, node, "M601",
+                "%s may only advance (max(%s, ...) or the reset jump to "
+                "%s); this write can rewind the completion cursor and "
+                "release commands out of order"
+                % (_MCS_CURSOR, _MCS_CURSOR, _MCS_COUNTER)))
+    return out
+
+
+# -- M602 ---------------------------------------------------------------------
+
+
+def _clients_uses(method: ast.FunctionDef) -> List[ast.AST]:
+    """Places this method reaches into self.clients for a connection.
+
+    Counted: subscripts ``self.clients[...]`` and ``for ... in
+    self.clients`` loops.  Plain ``len(self.clients)`` style reads are
+    not routing decisions and stay legal everywhere.
+    """
+    uses: List[ast.AST] = []
+    for node in ast.walk(method):
+        if isinstance(node, ast.Subscript) and _self_attr(
+                node.value, _PNFS_CLIENTS_ATTR):
+            uses.append(node)
+        elif isinstance(node, ast.For) and _self_attr(
+                node.iter, _PNFS_CLIENTS_ATTR):
+            uses.append(node)
+        elif isinstance(node, ast.comprehension) and _self_attr(
+                node.iter, _PNFS_CLIENTS_ATTR):
+            uses.append(node)
+    return uses
+
+
+def _router_call_lines(method: ast.FunctionDef) -> List[int]:
+    lines = []
+    for node in ast.walk(method):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PNFS_ROUTERS):
+            lines.append(node.lineno)
+    return lines
+
+
+def _check_pnfs(tree: ast.Module, path: str) -> List:
+    out: List = []
+    cls = _find_class(tree, _PNFS_CLASS)
+    if cls is None:
+        out.append(_violation(
+            path, tree.body[0] if tree.body else None, "M602",
+            "protocol spec target class %s missing from %s"
+            % (_PNFS_CLASS, _PNFS_MODULE)))
+        return out
+    for method in _methods(cls).values():
+        if method.name in _PNFS_INTERNAL or method.name in _PNFS_MIRRORED:
+            continue
+        uses = _clients_uses(method)
+        if not uses:
+            continue
+        router_lines = _router_call_lines(method)
+        for use in uses:
+            if not any(line <= use.lineno for line in router_lines):
+                out.append(_violation(
+                    path, use, "M602",
+                    "%s.%s() reaches self.%s without a LAYOUTGET-backed "
+                    "lookup (%s) first: striped I/O must route through "
+                    "the layout"
+                    % (_PNFS_CLASS, method.name, _PNFS_CLIENTS_ATTR,
+                       "/".join(_PNFS_ROUTERS))))
+    return out
+
+
+# -- M603 ---------------------------------------------------------------------
+
+
+def _try_issues_op(node: ast.Try, op: str) -> bool:
+    """True when the try body issues the protocol op (``p.<OP>`` arg)."""
+    for stmt in node.body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Attribute) and sub.attr == op:
+                return True
+            if isinstance(sub, ast.Name) and sub.id == op:
+                return True
+    return False
+
+
+def _handler_covers(handler: ast.ExceptHandler, error_cls: str) -> bool:
+    """except <error_cls> whose body (or guard) consults `replayed`."""
+    type_node = handler.type
+    names = []
+    if type_node is not None:
+        for sub in ast.walk(type_node):
+            if isinstance(sub, ast.Name):
+                names.append(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.append(sub.attr)
+    if error_cls not in names:
+        return False
+    for stmt in handler.body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Constant) and sub.value == "replayed":
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == "replayed":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "replayed":
+                return True
+    return False
+
+
+def _check_replay(tree: ast.Module, path: str) -> List:
+    out: List = []
+    tries = [node for node in ast.walk(tree) if isinstance(node, ast.Try)]
+    for op, error_cls in _REPLAY_TABLE:
+        covered = any(
+            _try_issues_op(node, op)
+            and any(_handler_covers(handler, error_cls)
+                    for handler in node.handlers)
+            for node in tries)
+        if not covered:
+            out.append(_violation(
+                path, tree.body[0] if tree.body else None, "M603",
+                "replay-semantics row %s/%s uncovered: a replayed %s whose "
+                "first reply was lost must absorb %s (Linux-style replay "
+                "table)" % (op, error_cls, op, error_cls)))
+    return out
+
+
+# -- dispatch -----------------------------------------------------------------
+
+
+_CHECKERS = {
+    _MCS_MODULE: _check_mcs,
+    _PNFS_MODULE: _check_pnfs,
+    _REPLAY_MODULE: _check_replay,
+}
+
+
+def check_module(tree: ast.Module, path: str,
+                 module: Optional[str]) -> List:
+    """Run whichever machine specs target ``module`` (none for most)."""
+    checker = _CHECKERS.get(module or "")
+    if checker is None:
+        return []
+    return checker(tree, path)

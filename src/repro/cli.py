@@ -663,12 +663,12 @@ def cmd_scale(args) -> int:
         best = None
         report = None
         for _ in range(args.repeat):
-            start = time.perf_counter()  # simlint: disable=D101
+            start = time.perf_counter()  # simlint: disable=D101 -- measures host runtime of the harness, not sim time
             result = run_shard_storm(
                 groups=args.groups, clients_per_group=clients_per_group,
                 requests=args.requests, nshards=count,
                 executor=executor, jobs=args.jobs)
-            wall = time.perf_counter() - start  # simlint: disable=D101
+            wall = time.perf_counter() - start  # simlint: disable=D101 -- measures host runtime of the harness, not sim time
             for key in ("completed", "records", "makespan"):
                 if result[key] != record[key]:
                     print("scale: shards=%d %s=%r diverged from the "
@@ -1212,9 +1212,30 @@ def cmd_lint(args) -> int:
         import os
 
         paths = [os.path.dirname(os.path.abspath(__file__))]
+
+    if args.debt:
+        suppressions = simlint.collect_suppressions(paths)
+        print(simlint.format_debt(suppressions))
+        # A suppression without a written reason is debt that fails CI.
+        return 1 if any(not s.reason for s in suppressions) else 0
+
+    if args.fix:
+        from .check import fixer
+
+        fixed = fixer.fix_paths(paths)
+        for path in sorted(fixed):
+            print("fixed %s: %d rewrite%s"
+                  % (path, fixed[path], "" if fixed[path] == 1 else "s"))
+        if not fixed:
+            print("nothing to fix")
+
     violations = simlint.lint_paths(paths)
     if args.format == "json":
         print(simlint.format_json(violations))
+    elif args.format == "sarif":
+        from .check import sarif
+
+        print(sarif.format_sarif(violations))
     else:
         print(simlint.format_text(violations))
     return 1 if violations else 0
@@ -1517,8 +1538,17 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("paths", nargs="*", metavar="PATH",
                     help="files or directories to lint "
                          "(default: the installed repro package)")
-    li.add_argument("--format", choices=["text", "json"], default="text",
-                    help="report format (default text)")
+    li.add_argument("--format", choices=["text", "json", "sarif"],
+                    default="text",
+                    help="report format (default text; sarif is a 2.1.0 "
+                         "document for CI code-scanning annotations)")
+    li.add_argument("--fix", action="store_true",
+                    help="autofix the mechanical rules in place "
+                         "(sorted() wraps, Random(0) seeds, hook guards) "
+                         "before reporting what remains")
+    li.add_argument("--debt", action="store_true",
+                    help="report every `# simlint: disable` suppression "
+                         "with its reason; exits 1 if any lacks one")
     li.set_defaults(func=cmd_lint)
     return parser
 

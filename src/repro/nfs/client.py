@@ -1356,7 +1356,7 @@ class NfsClient:
         """True if this op's walk already revalidated ``ino`` right now."""
         # The marker is (ino, clock-at-revalidation); "same instant" is
         # deliberately exact equality — any clock advance must invalidate.
-        return self._revalidated == (ino, self.sim.now)  # simlint: disable=D104
+        return self._revalidated == (ino, self.sim.now)  # simlint: disable=D104 -- same-instant marker; exact equality is the contract
 
     def _ensure_absent(self, parent: int, name: str) -> Generator:
         try:

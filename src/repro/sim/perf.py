@@ -313,7 +313,7 @@ def time_callable(fn: Callable[..., Any], kwargs: Dict[str, Any],
     for _ in range(repeat):
         # Wall-clock on purpose: this harness measures *host* runtime of
         # the kernel, not simulated time.
-        start = time.perf_counter()  # simlint: disable=D101
+        start = time.perf_counter()  # simlint: disable=D101 -- perf harness measures host runtime by design
         fn(**kwargs)
-        best = min(best, time.perf_counter() - start)  # simlint: disable=D101
+        best = min(best, time.perf_counter() - start)  # simlint: disable=D101 -- perf harness measures host runtime by design
     return best

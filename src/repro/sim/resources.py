@@ -62,7 +62,7 @@ class UtilizationTracker:
         # Same-instant re-reads must not accumulate twice; this compares
         # the clock to its own earlier value, so exact float equality is
         # the correct test.
-        if now != self._last_change:  # simlint: disable=D104
+        if now != self._last_change:  # simlint: disable=D104 -- clock vs its own earlier value; exact equality is correct
             self.busy_time += self._in_service * (now - self._last_change)
             self._last_change = now
 
@@ -118,7 +118,7 @@ class Resource:
         self.total_acquisitions += 1
         # UtilizationTracker.acquire is plain bookkeeping, not the
         # coroutine Resource.acquire — nothing to yield here.
-        self.tracker.acquire()  # simlint: disable=P203
+        self.tracker.acquire()  # simlint: disable=P203 -- bookkeeping method, not the coroutine acquire
         return None
 
     def release(self) -> None:
@@ -152,7 +152,7 @@ class Resource:
             self.stats.note_wait_done(self.sim.now - arrived)
         self.total_acquisitions += 1
         # Bookkeeping call (see acquire() above), not the coroutine.
-        self.tracker.acquire()  # simlint: disable=P203
+        self.tracker.acquire()  # simlint: disable=P203 -- bookkeeping method, not the coroutine acquire
         try:
             yield self.sim.hold(duration)
         finally:

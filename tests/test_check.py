@@ -82,6 +82,61 @@ def test_d103_negative_sorted():
     assert codes("for item in [1, 2, 3]:\n    use(item)\n") == []
 
 
+def test_d103_flags_set_laundered_through_local():
+    # The v1 false negative: the set hides behind an intermediate name.
+    src = ("def go(items):\n"
+           "    names = set(items)\n"
+           "    for name in names:\n"
+           "        use(name)\n")
+    assert codes(src) == ["D103"]
+    # ...including through an order-preserving copy of the local.
+    src = ("def go(items):\n"
+           "    names = set(items)\n"
+           "    snapshot = list(names)\n"
+           "    for name in snapshot:\n"
+           "        use(name)\n")
+    assert codes(src) == ["D103"]
+
+
+def test_d103_flags_dict_views_on_dict_built_from_set():
+    src = ("def go(items):\n"
+           "    index = {name: 0 for name in set(items)}\n"
+           "    for name in index.keys():\n"
+           "        use(name)\n")
+    assert codes(src) == ["D103", "D103"]  # the comprehension + the view
+    src = ("def go(names):\n"
+           "    index = dict.fromkeys(set(names))\n"
+           "    for name in index:\n"
+           "        use(name)\n")
+    assert codes(src) == ["D103"]
+
+
+def test_d103_laundering_negatives():
+    # Reassignment to an ordered value clears the tracking.
+    src = ("def go(items):\n"
+           "    names = set(items)\n"
+           "    names = sorted(names)\n"
+           "    for name in names:\n"
+           "        use(name)\n")
+    assert codes(src) == []
+    # A comprehension feeding an order-insensitive consumer is fine.
+    assert codes("def go(s):\n"
+                 "    findings = set(s)\n"
+                 "    return sorted(list(f) for f in findings)\n") == []
+    assert codes("def go(s):\n"
+                 "    findings = set(s)\n"
+                 "    return max(f for f in findings)\n") == []
+
+
+def test_d103_laundering_suppressed():
+    src = ("def go(items):\n"
+           "    names = set(items)\n"
+           "    for name in names:"
+           "  # simlint: disable=D103 -- order-free side effect\n"
+           "        use(name)\n")
+    assert codes(src) == []
+
+
 def test_d104_flags_float_equality_on_now():
     assert codes("if sim.now == deadline:\n    fire()\n") == ["D104"]
     assert codes("done = now != start\n") == ["D104"]
@@ -218,7 +273,8 @@ def test_o303_suppressed():
 def test_rule_catalog_and_hints():
     assert set(simlint.RULES) == {
         "D101", "D102", "D103", "D104", "P201", "P202", "P203",
-        "O301", "O302", "O303",
+        "O301", "O302", "O303", "S501", "S502", "S503",
+        "M601", "M602", "M603",
     }
     violations = lint_source("import time\nt = time.time()\n")
     assert len(violations) == 1

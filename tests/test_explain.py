@@ -15,6 +15,7 @@ The engine's contracts, each asserted here:
 * the flight recorder — bounded rings, evidence dumps on forced S403
   and T501 findings, and byte-identical runs when attached.
 """
+# simlint: disable-file=O302,O303,D104 -- tests drive recorder/telemetry hooks directly and assert exact sim times
 
 from __future__ import annotations
 

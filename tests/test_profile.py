@@ -1,4 +1,5 @@
 """Tests for repro.obs.profile — attribution, critical paths, queueing."""
+# simlint: disable-file=O301 -- tests drive the tracer directly; the guard is the production contract under test
 
 import pytest
 

@@ -1,4 +1,5 @@
 """Unit tests for the discrete-event kernel."""
+# simlint: disable-file=D104,P202,P203 -- kernel tests assert exact simulated times and deliberately misuse calls to probe behaviour
 
 import pytest
 

@@ -1,4 +1,5 @@
 """Unit and property tests for Resource/Store/UtilizationTracker."""
+# simlint: disable-file=P202 -- tests deliberately leak an acquire to assert the leak is observable
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -14,6 +14,7 @@ The contracts under test:
 * watchers — T501/T502/T503 fire on the pathologies they name, once per
   (code, series), and stay quiet on healthy runs.
 """
+# simlint: disable-file=O302 -- tests drive the telemetry collector directly
 
 from __future__ import annotations
 
